@@ -1,0 +1,62 @@
+// Extension bench — re-solve period trade-off under user mobility (the
+// paper's future work, DESIGN.md §6): time-averaged R_avg/L_avg vs the
+// migration traffic and handovers each policy pays.
+#include <cstdio>
+#include <iostream>
+
+#include "dynamic/simulation.hpp"
+#include "sim/paper.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace idde;
+  const auto steps =
+      static_cast<std::size_t>(util::env_int_or("IDDE_MOBILITY_STEPS", 120));
+  const int reps = util::experiment_reps(3);
+  std::printf(
+      "Mobility extension: %zu x 1 s steps, %d seeds, N=20 M=120 K=5\n\n",
+      steps, reps);
+
+  model::InstanceParams base = sim::paper_default_params();
+  base.server_count = 20;   // keep the bench brisk
+  base.user_count = 120;
+
+  util::TextTable table({"resolve period (s)", "R_avg (MB/s)", "L_avg (ms)",
+                         "handovers", "migration (MB)", "resolves"});
+  for (const std::size_t period : {0ul, 10ul, 30ul, 60ul, 120ul}) {
+    double rate = 0.0;
+    double latency = 0.0;
+    double handovers = 0.0;
+    double migration = 0.0;
+    double resolves = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      dynamic::DynamicParams params;
+      params.base = base;
+      params.steps = steps;
+      params.resolve_period = period;
+      const auto summary =
+          dynamic::DynamicSimulation(params,
+                                     9000 + static_cast<std::uint64_t>(rep))
+              .run();
+      rate += summary.mean_rate_mbps;
+      latency += summary.mean_latency_ms;
+      handovers += static_cast<double>(summary.total_handovers);
+      migration += summary.total_migration_mb;
+      resolves += static_cast<double>(summary.total_resolves);
+    }
+    const double r = static_cast<double>(reps);
+    table.start_row()
+        .add(period == 0 ? std::string("never") : std::to_string(period))
+        .add(rate / r)
+        .add(latency / r)
+        .add(handovers / r, 1)
+        .add(migration / r, 0)
+        .add(resolves / r, 1);
+  }
+  table.print(std::cout);
+  std::puts(
+      "\nExpected shape: shorter periods hold R_avg/L_avg near the static "
+      "optimum at the price of migration traffic and handovers.");
+  return 0;
+}

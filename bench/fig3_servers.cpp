@@ -1,0 +1,7 @@
+// Figure 3 — effectiveness in Set #1: R_avg and L_avg vs the number of
+// edge servers N (20..50 step 5; M=200, K=5, density=1.0).
+#include "figure_common.hpp"
+
+int main() {
+  return idde::bench::run_figure_set(idde::sim::paper_sets()[0], "fig3_set1");
+}

@@ -1,0 +1,7 @@
+// Figure 4 — effectiveness in Set #2: R_avg and L_avg vs the number of
+// users M (50..350 step 50; N=30, K=5, density=1.0).
+#include "figure_common.hpp"
+
+int main() {
+  return idde::bench::run_figure_set(idde::sim::paper_sets()[1], "fig4_set2");
+}

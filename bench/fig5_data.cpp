@@ -1,0 +1,7 @@
+// Figure 5 — effectiveness in Set #3: R_avg and L_avg vs the number of
+// data items K (2..8; N=30, M=200, density=1.0).
+#include "figure_common.hpp"
+
+int main() {
+  return idde::bench::run_figure_set(idde::sim::paper_sets()[2], "fig5_set3");
+}

@@ -1,0 +1,7 @@
+// Figure 6 — effectiveness in Set #4: R_avg and L_avg vs the edge-network
+// link density (1.0..3.0 step 0.4; N=30, M=200, K=5).
+#include "figure_common.hpp"
+
+int main() {
+  return idde::bench::run_figure_set(idde::sim::paper_sets()[3], "fig6_set4");
+}

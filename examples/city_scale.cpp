@@ -1,0 +1,71 @@
+// City-scale scenario: the full synthetic EUA layout (125 edge servers,
+// 816 users — the complete extraction the paper sub-samples from) solved by
+// IDDE-G, with a coverage report and a per-phase breakdown. Demonstrates
+// that the library runs at full city scale, not just the paper's sweeps.
+#include <cstdio>
+
+#include "core/idde_g.hpp"
+#include "core/metrics.hpp"
+#include "model/instance_builder.hpp"
+#include "model/validation.hpp"
+#include "sim/paper.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace idde;
+
+  std::size_t seed = 2022;
+  std::size_t data = 12;
+  util::CliParser cli("city_scale: solve the full 125-server/816-user city");
+  cli.add_size("seed", &seed, "instance seed");
+  cli.add_size("data", &data, "catalogue size K");
+  if (!cli.parse(argc, argv)) return 0;
+
+  model::InstanceParams params = sim::paper_default_params();
+  params.server_count = params.eua.server_count;  // the whole city
+  params.user_count = params.eua.user_count;
+  params.data_count = data;
+
+  util::Stopwatch build_watch;
+  const model::ProblemInstance instance =
+      model::make_instance(params, static_cast<std::uint64_t>(seed));
+  std::printf("built city instance in %.1f ms: N=%zu M=%zu K=%zu\n",
+              build_watch.elapsed_ms(), instance.server_count(),
+              instance.user_count(), instance.data_count());
+
+  const model::CoverageStats coverage = model::coverage_stats(instance);
+  std::printf(
+      "coverage: %.2f servers/user on average, max %zu, %zu uncovered "
+      "users\n",
+      coverage.mean_coverage, coverage.max_coverage,
+      coverage.uncovered_users);
+  std::printf("reserved storage: %.0f MB across the system, catalogue %.0f "
+              "MB\n",
+              instance.total_storage_mb(),
+              [&] {
+                double total = 0.0;
+                for (const auto& d : instance.data_items())
+                  total += d.size_mb;
+                return total;
+              }());
+
+  util::Rng rng(seed);
+  util::Stopwatch solve_watch;
+  const core::Strategy strategy = core::IddeG().solve(instance, rng);
+  const double solve_ms = solve_watch.elapsed_ms();
+  const core::StrategyMetrics metrics = core::evaluate(instance, strategy);
+
+  std::printf("\nIDDE-G at city scale (%.1f ms):\n", solve_ms);
+  std::printf("  phase 1: %zu best-response rounds, %zu moves, %s\n",
+              strategy.game_rounds, strategy.game_moves,
+              strategy.game_converged ? "converged to Nash equilibrium"
+                                      : "round cap hit");
+  std::printf("  phase 2: %zu replica placements\n", strategy.placements);
+  std::printf("  R_avg = %.2f MB/s over %zu users (%zu allocated)\n",
+              metrics.avg_rate_mbps, instance.user_count(),
+              metrics.allocated_users);
+  std::printf("  L_avg = %.2f ms over %zu requests\n", metrics.avg_latency_ms,
+              instance.requests().total_requests());
+  return 0;
+}

@@ -1,0 +1,100 @@
+// VR streaming scenario — the workload class the paper's introduction
+// motivates ("high-quality VR ... requires a 20 ms end-to-end latency or
+// lower to prevent motion sickness"). A vendor reserves edge storage for VR
+// scene bundles and needs to know what fraction of its users experience
+// sub-20 ms scene fetches under each delivery strategy.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/delivery.hpp"
+#include "core/metrics.hpp"
+#include "model/instance_builder.hpp"
+#include "sim/paper.hpp"
+#include "sim/runner.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace idde;
+
+/// Per-request latencies (ms) under a strategy, honouring its delivery
+/// semantics.
+std::vector<double> request_latencies_ms(const model::ProblemInstance& inst,
+                                         const core::Strategy& strategy) {
+  std::vector<double> latencies;
+  for (std::size_t j = 0; j < inst.user_count(); ++j) {
+    const bool allocated = strategy.allocation[j].allocated();
+    const std::size_t serving =
+        allocated ? strategy.allocation[j].server : 0;
+    for (const std::size_t k : inst.requests().items_of(j)) {
+      const double size = inst.data(k).size_mb;
+      double best = inst.latency().cloud_transfer_seconds(size);
+      if (allocated) {
+        for (const std::size_t host : strategy.delivery.hosts(k)) {
+          if (!strategy.collaborative_delivery && host != serving) continue;
+          best = std::min(
+              best, inst.latency().edge_transfer_seconds(host, serving, size));
+        }
+      }
+      latencies.push_back(best * 1e3);
+    }
+  }
+  return latencies;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t seed = 7;
+  double deadline_ms = 20.0;
+  util::CliParser cli(
+      "vr_streaming: fraction of VR scene fetches under the motion-sickness "
+      "deadline per approach");
+  cli.add_size("seed", &seed, "instance seed");
+  cli.add_double("deadline-ms", &deadline_ms, "VR latency deadline");
+  if (!cli.parse(argc, argv)) return 0;
+
+  // VR bundles are mid-sized and the catalogue is small but hot.
+  model::InstanceParams params = sim::paper_default_params();
+  params.data_count = 6;
+  params.data_size_choices_mb = {45.0, 60.0, 75.0};
+  params.zipf_exponent = 1.1;  // a few very popular scenes
+  params.user_count = 250;
+
+  const model::ProblemInstance instance =
+      model::make_instance(params, static_cast<std::uint64_t>(seed));
+  std::printf(
+      "VR scenario: %zu users, %zu scene bundles, %.0f ms deadline\n\n",
+      instance.user_count(), instance.data_count(), deadline_ms);
+
+  util::TextTable table({"approach", "R_avg (MB/s)", "L_avg (ms)",
+                         "p95 latency (ms)", "fetches < deadline"});
+  for (const core::ApproachPtr& approach : sim::make_paper_approaches(100.0)) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 31 + 1);
+    const core::Strategy strategy = approach->solve(instance, rng);
+    const core::StrategyMetrics metrics = core::evaluate(instance, strategy);
+    const auto latencies = request_latencies_ms(instance, strategy);
+    const std::size_t ok = static_cast<std::size_t>(
+        std::count_if(latencies.begin(), latencies.end(),
+                      [&](double l) { return l <= deadline_ms; }));
+    table.start_row()
+        .add(approach->name())
+        .add(metrics.avg_rate_mbps)
+        .add(metrics.avg_latency_ms)
+        .add(util::percentile(latencies, 95.0))
+        .add(util::format("{}% ({}/{})",
+                          static_cast<int>(100.0 * static_cast<double>(ok) /
+                                           static_cast<double>(
+                                               latencies.size())),
+                          ok, latencies.size()));
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts(
+      "\nInterference-aware allocation plus collaborative delivery is what "
+      "keeps the sub-20 ms fraction high.");
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "baselines/allocators.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "geo/point.hpp"
+#include "util/assert.hpp"
+
+namespace idde::baselines {
+
+using core::AllocationProfile;
+using core::ChannelSlot;
+
+AllocationProfile nearest_allocation(const model::ProblemInstance& instance,
+                                     ChannelPolicy policy, util::Rng* rng) {
+  IDDE_EXPECTS(policy == ChannelPolicy::kLeastLoaded || rng != nullptr);
+  const std::size_t channels = instance.radio_env().channels_per_server;
+  AllocationProfile profile(instance.user_count(), core::kUnallocated);
+  // Per-(server, channel) user counts for least-loaded channel selection.
+  std::vector<std::size_t> load(instance.server_count() * channels, 0);
+  for (std::size_t j = 0; j < instance.user_count(); ++j) {
+    double best_distance = std::numeric_limits<double>::infinity();
+    std::size_t best_server = ChannelSlot::kNone;
+    for (const std::size_t i : instance.covering_servers(j)) {
+      const double d = geo::distance(instance.server(i).position,
+                                     instance.user(j).position);
+      if (d < best_distance) {
+        best_distance = d;
+        best_server = i;
+      }
+    }
+    if (best_server == ChannelSlot::kNone) continue;
+    std::size_t best_channel = 0;
+    if (policy == ChannelPolicy::kRandom) {
+      best_channel = rng->index(channels);
+    } else {
+      for (std::size_t x = 1; x < channels; ++x) {
+        if (load[best_server * channels + x] <
+            load[best_server * channels + best_channel]) {
+          best_channel = x;
+        }
+      }
+    }
+    ++load[best_server * channels + best_channel];
+    profile[j] = ChannelSlot{best_server, best_channel};
+  }
+  return profile;
+}
+
+AllocationProfile random_allocation(const model::ProblemInstance& instance,
+                                    util::Rng& rng) {
+  const std::size_t channels = instance.radio_env().channels_per_server;
+  AllocationProfile profile(instance.user_count(), core::kUnallocated);
+  for (std::size_t j = 0; j < instance.user_count(); ++j) {
+    const auto& covering = instance.covering_servers(j);
+    if (covering.empty()) continue;
+    const std::size_t server = covering[rng.index(covering.size())];
+    profile[j] = ChannelSlot{server, rng.index(channels)};
+  }
+  return profile;
+}
+
+}  // namespace idde::baselines

@@ -1,0 +1,30 @@
+// Non-game user allocators used by the benchmark approaches: they pick a
+// server (and channel) per user without modelling interference, which is
+// precisely the behaviour the IDDE paper argues against.
+#pragma once
+
+#include "core/strategy.hpp"
+#include "model/instance.hpp"
+#include "util/random.hpp"
+
+namespace idde::baselines {
+
+enum class ChannelPolicy {
+  kLeastLoaded,  ///< balance users across the server's channels
+  kRandom,       ///< interference-oblivious uniform pick
+};
+
+/// Each user joins its nearest covering server (equivalently, strongest
+/// channel gain under the log-distance model). The channel is chosen per
+/// `policy`; kRandom requires `rng`.
+[[nodiscard]] core::AllocationProfile nearest_allocation(
+    const model::ProblemInstance& instance,
+    ChannelPolicy policy = ChannelPolicy::kLeastLoaded,
+    util::Rng* rng = nullptr);
+
+/// Each user joins a uniformly random covering server and channel —
+/// the interference-oblivious strawman.
+[[nodiscard]] core::AllocationProfile random_allocation(
+    const model::ProblemInstance& instance, util::Rng& rng);
+
+}  // namespace idde::baselines

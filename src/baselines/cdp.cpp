@@ -1,0 +1,42 @@
+#include "baselines/cdp.hpp"
+
+#include <vector>
+
+#include "baselines/allocators.hpp"
+#include "baselines/local_placement.hpp"
+
+namespace idde::baselines {
+
+core::Strategy Cdp::solve(const model::ProblemInstance& instance,
+                          util::Rng& rng) const {
+  // Nearest server by the shared communication model; channels are picked
+  // blindly (CDP optimises placement, not interference).
+  core::AllocationProfile allocation =
+      nearest_allocation(instance, ChannelPolicy::kRandom, &rng);
+
+  // Demand signal: the users actually allocated to each server (the
+  // centralized controller knows the association exactly).
+  std::vector<std::vector<std::size_t>> allocated_users(
+      instance.server_count());
+  for (std::size_t j = 0; j < allocation.size(); ++j) {
+    if (allocation[j].allocated()) {
+      allocated_users[allocation[j].server].push_back(j);
+    }
+  }
+  const LocalPlacementOptions options{
+      .per_mb = false,  // Liu et al. rank by absolute hit value
+      .sample_fraction = 1.0,
+  };
+  core::DeliveryProfile delivery =
+      local_demand_placement(instance, allocated_users, options, rng);
+
+  core::Strategy strategy{std::move(allocation), std::move(delivery)};
+  // Fog-RAN's delivery plane serves from the local cache or the cloud;
+  // there is no inter-cache transfer path in the scheme.
+  strategy.collaborative_delivery = false;
+  strategy.approach_name = name();
+  strategy.placements = strategy.delivery.placement_count();
+  return strategy;
+}
+
+}  // namespace idde::baselines

@@ -1,0 +1,26 @@
+// CDP — Centralized Data Placement, after Liu et al., "Cache placement in
+// Fog-RANs: from centralized to distributed algorithms" (TWC'17), adapted
+// to the IDDE setting as in Section 4.1 of the paper:
+//  - users join their nearest covering server (the strongest-gain rule of
+//    the shared communication model; no interference game),
+//  - a centralized greedy fills storage by absolute local-hit value
+//    (demand * cloud saving), assuming requests are served from the
+//    user's own server or the cloud — Fog-RAN has no inter-cache
+//    transfers, so the policy duplicates popular items across servers.
+// The resulting strategy is still *evaluated* under the full collaborative
+// model (Eq. 8), like every other approach.
+#pragma once
+
+#include "core/approach.hpp"
+
+namespace idde::baselines {
+
+class Cdp final : public core::Approach {
+ public:
+  [[nodiscard]] std::string name() const override { return "CDP"; }
+
+  [[nodiscard]] core::Strategy solve(const model::ProblemInstance& instance,
+                                     util::Rng& rng) const override;
+};
+
+}  // namespace idde::baselines

@@ -1,0 +1,19 @@
+#include "baselines/idde_ip.hpp"
+
+#include "util/env.hpp"
+
+namespace idde::baselines {
+
+IddeIp::IddeIp(double budget_ms)
+    : budget_ms_(util::ip_budget_ms(budget_ms)) {}
+
+core::Strategy IddeIp::solve(const model::ProblemInstance& instance,
+                             util::Rng& rng) const {
+  solver::JointSearchOptions options;
+  options.budget_ms = budget_ms_;
+  solver::JointSearchResult result =
+      solver::joint_search(instance, rng, options);
+  return std::move(result.strategy);
+}
+
+}  // namespace idde::baselines

@@ -1,0 +1,52 @@
+#include "baselines/local_placement.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace idde::baselines {
+
+core::DeliveryProfile local_demand_placement(
+    const model::ProblemInstance& instance,
+    std::span<const std::vector<std::size_t>> demand_users,
+    const LocalPlacementOptions& options, util::Rng& rng) {
+  IDDE_EXPECTS(demand_users.size() == instance.server_count());
+  IDDE_EXPECTS(options.sample_fraction > 0.0 &&
+               options.sample_fraction <= 1.0);
+
+  core::DeliveryProfile delivery(instance);
+  for (std::size_t i = 0; i < instance.server_count(); ++i) {
+    // Observed demand per item at this server (possibly sub-sampled).
+    std::vector<double> demand(instance.data_count(), 0.0);
+    for (const std::size_t j : demand_users[i]) {
+      if (options.sample_fraction < 1.0 &&
+          !rng.bernoulli(options.sample_fraction)) {
+        continue;
+      }
+      for (const std::size_t k : instance.requests().items_of(j)) {
+        demand[k] += 1.0;
+      }
+    }
+    // Score = demand * cloud saving (optionally per MB); fill greedily.
+    std::vector<std::pair<double, std::size_t>> scored;
+    for (std::size_t k = 0; k < instance.data_count(); ++k) {
+      if (demand[k] <= 0.0) continue;
+      const double size = instance.data(k).size_mb;
+      double score =
+          demand[k] * instance.latency().cloud_transfer_seconds(size);
+      if (options.per_mb) score /= size;
+      scored.emplace_back(score, k);
+    }
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    for (const auto& [score, k] : scored) {
+      if (delivery.can_place(i, k)) delivery.place(i, k);
+    }
+  }
+  return delivery;
+}
+
+}  // namespace idde::baselines

@@ -1,0 +1,33 @@
+// Per-server ("local") placement policies shared by the non-collaborative
+// baselines. Each server fills its own reserved storage by the value of
+// items to *its own* users, ignoring what neighbours store — the
+// duplication-prone behaviour that edge-server collaboration avoids.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/strategy.hpp"
+#include "model/instance.hpp"
+#include "util/random.hpp"
+
+namespace idde::baselines {
+
+struct LocalPlacementOptions {
+  /// Normalise item value by size (value-per-MB) instead of absolute value.
+  bool per_mb = true;
+  /// Fraction of the demand signal each server observes; < 1 simulates the
+  /// sample-average estimation of SAA. 1.0 = exact demand.
+  double sample_fraction = 1.0;
+};
+
+/// Builds a delivery profile where every server greedily stores the items
+/// most demanded by the users in `demand_users[i]` (e.g. covered users for
+/// SAA/DUP-G, allocated users for CDP-like policies). Item value is
+/// demand_count * cloud_latency (the local-hit saving), optionally per MB.
+[[nodiscard]] core::DeliveryProfile local_demand_placement(
+    const model::ProblemInstance& instance,
+    std::span<const std::vector<std::size_t>> demand_users,
+    const LocalPlacementOptions& options, util::Rng& rng);
+
+}  // namespace idde::baselines

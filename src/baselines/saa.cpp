@@ -1,0 +1,33 @@
+#include "baselines/saa.hpp"
+
+#include <vector>
+
+#include "baselines/allocators.hpp"
+#include "baselines/local_placement.hpp"
+
+namespace idde::baselines {
+
+core::Strategy Saa::solve(const model::ProblemInstance& instance,
+                          util::Rng& rng) const {
+  core::AllocationProfile allocation = random_allocation(instance, rng);
+
+  // Demand signal: the users covered by each server (each server only sees
+  // requests arriving from its own coverage area).
+  std::vector<std::vector<std::size_t>> covered(instance.server_count());
+  for (std::size_t i = 0; i < instance.server_count(); ++i) {
+    covered[i] = instance.covered_users(i);
+  }
+  const LocalPlacementOptions options{
+      .per_mb = true,
+      .sample_fraction = sample_fraction_,
+  };
+  core::DeliveryProfile delivery =
+      local_demand_placement(instance, covered, options, rng);
+
+  core::Strategy strategy{std::move(allocation), std::move(delivery)};
+  strategy.approach_name = name();
+  strategy.placements = strategy.delivery.placement_count();
+  return strategy;
+}
+
+}  // namespace idde::baselines

@@ -1,0 +1,32 @@
+// SAA — Sample Average Approximation, after Ning et al., "Distributed and
+// dynamic service placement in pervasive edge computing networks"
+// (TPDS'20), adapted as in Section 4.1:
+//  - no interference awareness at all: users pick a random covering server
+//    and channel,
+//  - each edge server independently decides its own placements from a
+//    sampled subset of the requests originating in its coverage,
+//    maximising a storage-utility score (per-MB cloud saving weighted by
+//    sampled demand).
+#pragma once
+
+#include "core/approach.hpp"
+
+namespace idde::baselines {
+
+class Saa final : public core::Approach {
+ public:
+  /// `sample_fraction` controls how much of its coverage each server
+  /// observes when estimating demand (Ning et al. use Monte-Carlo samples).
+  explicit Saa(double sample_fraction = 0.6)
+      : sample_fraction_(sample_fraction) {}
+
+  [[nodiscard]] std::string name() const override { return "SAA"; }
+
+  [[nodiscard]] core::Strategy solve(const model::ProblemInstance& instance,
+                                     util::Rng& rng) const override;
+
+ private:
+  double sample_fraction_;
+};
+
+}  // namespace idde::baselines

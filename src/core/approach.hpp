@@ -1,0 +1,29 @@
+// The interface every IDDE solver implements (IDDE-G and the four
+// benchmark approaches of Section 4.1). Solvers are stateless with respect
+// to instances: `solve` may be called concurrently on different instances.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/strategy.hpp"
+#include "model/instance.hpp"
+#include "util/random.hpp"
+
+namespace idde::core {
+
+class Approach {
+ public:
+  virtual ~Approach() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Produces a complete strategy. `rng` seeds any internal randomisation
+  /// (tie-breaking, sampling); deterministic given (instance, rng state).
+  [[nodiscard]] virtual Strategy solve(const model::ProblemInstance& instance,
+                                       util::Rng& rng) const = 0;
+};
+
+using ApproachPtr = std::unique_ptr<Approach>;
+
+}  // namespace idde::core

@@ -1,0 +1,120 @@
+#include "core/delivery.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace idde::core {
+
+DeliveryProfile::DeliveryProfile(const model::ProblemInstance& instance)
+    : instance_(&instance),
+      data_count_(instance.data_count()),
+      flags_(instance.server_count() * instance.data_count(), false),
+      hosts_(instance.data_count()) {
+  free_mb_.reserve(instance.server_count());
+  for (const model::EdgeServer& s : instance.servers()) {
+    free_mb_.push_back(s.storage_mb);
+  }
+}
+
+bool DeliveryProfile::can_place(std::size_t server, std::size_t item) const {
+  IDDE_EXPECTS(server < free_mb_.size());
+  IDDE_EXPECTS(item < data_count_);
+  if (placed(server, item)) return false;
+  return instance_->data(item).size_mb <= free_mb_[server] + 1e-9;
+}
+
+void DeliveryProfile::place(std::size_t server, std::size_t item) {
+  IDDE_ASSERT(can_place(server, item), "infeasible placement");
+  flags_[server * data_count_ + item] = true;
+  free_mb_[server] -= instance_->data(item).size_mb;
+  auto& hosts = hosts_[item];
+  hosts.insert(std::lower_bound(hosts.begin(), hosts.end(), server), server);
+  ++count_;
+}
+
+DeliveryEvaluator::DeliveryEvaluator(const model::ProblemInstance& instance,
+                                     const AllocationProfile& allocation,
+                                     bool collaborative)
+    : instance_(&instance),
+      collaborative_(collaborative),
+      item_requests_(instance.data_count()) {
+  IDDE_EXPECTS(allocation.size() == instance.user_count());
+  serving_server_.reserve(instance.user_count());
+  for (const ChannelSlot& slot : allocation) {
+    serving_server_.push_back(slot.allocated() ? slot.server
+                                               : ChannelSlot::kNone);
+  }
+  const auto& requests = instance.requests();
+  for (std::size_t j = 0; j < instance.user_count(); ++j) {
+    for (const std::size_t k : requests.items_of(j)) {
+      const std::size_t id = request_user_.size();
+      request_user_.push_back(j);
+      request_item_.push_back(k);
+      const double cloud =
+          instance.latency().cloud_transfer_seconds(instance.data(k).size_mb);
+      request_latency_.push_back(cloud);
+      total_latency_ += cloud;
+      item_requests_[k].push_back(id);
+    }
+  }
+}
+
+double DeliveryEvaluator::gain_seconds(std::size_t server,
+                                       std::size_t item) const {
+  IDDE_EXPECTS(server < instance_->server_count());
+  IDDE_EXPECTS(item < instance_->data_count());
+  const double size = instance_->data(item).size_mb;
+  const auto& latency = instance_->latency();
+  double gain = 0.0;
+  for (const std::size_t id : item_requests_[item]) {
+    const std::size_t serving = serving_server_[request_user_[id]];
+    if (serving == ChannelSlot::kNone) continue;  // cloud-only user
+    if (!collaborative_ && serving != server) continue;
+    const double candidate =
+        latency.edge_transfer_seconds(server, serving, size);
+    if (candidate < request_latency_[id]) {
+      gain += request_latency_[id] - candidate;
+    }
+  }
+  return gain;
+}
+
+double DeliveryEvaluator::commit(std::size_t server, std::size_t item) {
+  const double size = instance_->data(item).size_mb;
+  const auto& latency = instance_->latency();
+  double gain = 0.0;
+  for (const std::size_t id : item_requests_[item]) {
+    const std::size_t serving = serving_server_[request_user_[id]];
+    if (serving == ChannelSlot::kNone) continue;
+    if (!collaborative_ && serving != server) continue;
+    const double candidate =
+        latency.edge_transfer_seconds(server, serving, size);
+    if (candidate < request_latency_[id]) {
+      gain += request_latency_[id] - candidate;
+      request_latency_[id] = candidate;
+    }
+  }
+  total_latency_ -= gain;
+  return gain;
+}
+
+double DeliveryEvaluator::average_latency_seconds() const {
+  if (request_user_.empty()) return 0.0;
+  return total_latency_ / static_cast<double>(request_user_.size());
+}
+
+double total_latency_seconds(const model::ProblemInstance& instance,
+                             const AllocationProfile& allocation,
+                             const DeliveryProfile& delivery,
+                             bool collaborative) {
+  DeliveryEvaluator evaluator(instance, allocation, collaborative);
+  for (std::size_t k = 0; k < instance.data_count(); ++k) {
+    for (const std::size_t i : delivery.hosts(k)) {
+      evaluator.commit(i, k);
+    }
+  }
+  return evaluator.total_latency_seconds();
+}
+
+}  // namespace idde::core

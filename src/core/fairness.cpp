@@ -1,0 +1,35 @@
+#include "core/fairness.hpp"
+
+#include <algorithm>
+
+#include "core/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace idde::core {
+
+double jain_index(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : values) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+FairnessReport fairness_report(const model::ProblemInstance& instance,
+                               const AllocationProfile& allocation) {
+  const auto rates = user_rates(instance, allocation);
+  FairnessReport report;
+  if (rates.empty()) return report;
+  report.jain = jain_index(rates);
+  report.p10_rate_mbps = util::percentile(rates, 10.0);
+  report.min_rate_mbps = *std::min_element(rates.begin(), rates.end());
+  report.starved_users = static_cast<std::size_t>(
+      std::count(rates.begin(), rates.end(), 0.0));
+  return report;
+}
+
+}  // namespace idde::core

@@ -1,0 +1,28 @@
+// Per-user fairness metrics. The paper optimises averages; a vendor also
+// cares whether the average hides starved users. Jain's index over the
+// per-user rates is the standard summary (1 = perfectly even, 1/M = one
+// user gets everything); bench tables report it alongside R_avg.
+#pragma once
+
+#include <span>
+
+#include "core/strategy.hpp"
+#include "model/instance.hpp"
+
+namespace idde::core {
+
+/// Jain's fairness index (sum x)^2 / (n * sum x^2); 0 for empty/all-zero.
+[[nodiscard]] double jain_index(std::span<const double> values);
+
+struct FairnessReport {
+  double jain = 0.0;         ///< over per-user rates
+  double p10_rate_mbps = 0.0;  ///< 10th-percentile user rate
+  double min_rate_mbps = 0.0;
+  std::size_t starved_users = 0;  ///< R_j == 0 (unallocated or drowned)
+};
+
+[[nodiscard]] FairnessReport fairness_report(
+    const model::ProblemInstance& instance,
+    const AllocationProfile& allocation);
+
+}  // namespace idde::core

@@ -1,0 +1,173 @@
+#include "core/game.hpp"
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace idde::core {
+
+IddeUGame::IddeUGame(const model::ProblemInstance& instance,
+                     GameOptions options)
+    : instance_(&instance), options_(options) {
+  IDDE_EXPECTS(options.improvement_epsilon >= 0.0);
+  IDDE_EXPECTS(options.max_rounds > 0);
+}
+
+IddeUGame::BestResponse IddeUGame::best_response(
+    const radio::InterferenceField& field, std::size_t user,
+    std::size_t* evaluations) const {
+  BestResponse best;
+  const std::size_t channels = instance_->radio_env().channels_per_server;
+  const auto& servers = options_.candidate_servers != nullptr
+                            ? (*options_.candidate_servers)[user]
+                            : instance_->covering_servers(user);
+  for (const std::size_t server : servers) {
+    for (std::size_t channel = 0; channel < channels; ++channel) {
+      const ChannelSlot slot{server, channel};
+      const double benefit = field.benefit(user, slot);
+      ++*evaluations;
+      if (benefit > best.benefit) {
+        best = BestResponse{slot, benefit};
+      }
+    }
+  }
+  return best;
+}
+
+GameResult IddeUGame::run() {
+  return run_from(AllocationProfile(instance_->user_count(), kUnallocated));
+}
+
+GameResult IddeUGame::run_from(const AllocationProfile& start) {
+  IDDE_EXPECTS(start.size() == instance_->user_count());
+  radio::InterferenceField field(instance_->radio_env());
+  for (std::size_t j = 0; j < start.size(); ++j) {
+    if (start[j].allocated()) field.add_user(j, start[j]);
+  }
+
+  GameResult result;
+  const std::size_t user_count = instance_->user_count();
+  const double eps = options_.improvement_epsilon;
+  std::vector<std::size_t> moves_of(user_count, 0);
+  const auto movable = [&](std::size_t j) {
+    return moves_of[j] < options_.max_moves_per_user;
+  };
+  const auto record_move = [&](std::size_t j) {
+    if (++moves_of[j] == options_.max_moves_per_user) ++result.frozen_users;
+  };
+
+  // Benefit of the user's current decision; 0 when unallocated (a user
+  // always gains by joining some channel, matching Eq. 12's positivity).
+  const auto current_benefit = [&](std::size_t j) {
+    const ChannelSlot slot = field.slot_of(j);
+    return slot.allocated() ? field.benefit(j, slot) : 0.0;
+  };
+
+  while (result.rounds < options_.max_rounds) {
+    ++result.rounds;
+    bool moved = false;
+
+    switch (options_.rule) {
+      case UpdateRule::kBestImprovement: {
+        // Every user submits its candidate; the largest gain wins.
+        std::size_t winner = ChannelSlot::kNone;
+        ChannelSlot winner_slot = kUnallocated;
+        double winner_gain = eps;
+        for (std::size_t j = 0; j < user_count; ++j) {
+          if (!movable(j)) continue;
+          const BestResponse candidate =
+              best_response(field, j, &result.benefit_evaluations);
+          if (!candidate.slot.allocated()) continue;
+          const double gain = candidate.benefit - current_benefit(j);
+          if (gain > winner_gain) {
+            winner_gain = gain;
+            winner = j;
+            winner_slot = candidate.slot;
+          }
+        }
+        if (winner != ChannelSlot::kNone) {
+          field.move_user(winner, winner_slot);
+          record_move(winner);
+          ++result.moves;
+          moved = true;
+        }
+        break;
+      }
+      case UpdateRule::kFirstImprovement: {
+        for (std::size_t j = 0; j < user_count && !moved; ++j) {
+          if (!movable(j)) continue;
+          const BestResponse candidate =
+              best_response(field, j, &result.benefit_evaluations);
+          if (!candidate.slot.allocated()) continue;
+          if (candidate.benefit - current_benefit(j) > eps) {
+            field.move_user(j, candidate.slot);
+            record_move(j);
+            ++result.moves;
+            moved = true;
+          }
+        }
+        break;
+      }
+      case UpdateRule::kAsyncSweep: {
+        for (std::size_t j = 0; j < user_count; ++j) {
+          if (!movable(j)) continue;
+          const BestResponse candidate =
+              best_response(field, j, &result.benefit_evaluations);
+          if (!candidate.slot.allocated()) continue;
+          if (candidate.benefit - current_benefit(j) > eps) {
+            field.move_user(j, candidate.slot);
+            record_move(j);
+            ++result.moves;
+            moved = true;
+          }
+        }
+        break;
+      }
+    }
+
+    if (!moved) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  if (!result.converged) {
+    util::log_warn("IDDE-U game hit the round cap ({} rounds, {} moves)",
+                   result.rounds, result.moves);
+  }
+  if (result.frozen_users > 0) {
+    util::log_debug(
+        "IDDE-U game froze {} cycling users after {} moves each",
+        result.frozen_users, options_.max_moves_per_user);
+  }
+  result.allocation.resize(user_count);
+  for (std::size_t j = 0; j < user_count; ++j) {
+    result.allocation[j] = field.slot_of(j);
+  }
+  return result;
+}
+
+bool is_nash_equilibrium(const model::ProblemInstance& instance,
+                         const AllocationProfile& allocation, double epsilon) {
+  IDDE_EXPECTS(allocation.size() == instance.user_count());
+  radio::InterferenceField field(instance.radio_env());
+  for (std::size_t j = 0; j < allocation.size(); ++j) {
+    if (allocation[j].allocated()) field.add_user(j, allocation[j]);
+  }
+  const std::size_t channels = instance.radio_env().channels_per_server;
+  for (std::size_t j = 0; j < allocation.size(); ++j) {
+    const double current = allocation[j].allocated()
+                               ? field.benefit(j, allocation[j])
+                               : 0.0;
+    for (const std::size_t server : instance.covering_servers(j)) {
+      for (std::size_t channel = 0; channel < channels; ++channel) {
+        if (field.benefit(j, ChannelSlot{server, channel}) >
+            current + epsilon) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace idde::core

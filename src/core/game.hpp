@@ -1,0 +1,90 @@
+// Phase 1 of IDDE-G: the IDDE-U user-allocation game (Algorithm 1, lines
+// 5-21). Best-response dynamics over the benefit function of Eq. 12.
+//
+// The paper's update rule lets every user submit an improving move each
+// round and applies one winner's move. We implement that rule
+// (kBestImprovement: the largest benefit gain wins) plus two standard
+// variants used by the ablation bench:
+//   kFirstImprovement — the lowest-indexed improving user wins the round,
+//   kAsyncSweep       — users best-respond sequentially within one sweep
+//                       (many moves per round; rounds == sweeps).
+// All three converge on potential-game instances; kAsyncSweep is the
+// fastest wall-clock and kBestImprovement matches Algorithm 1 literally.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+#include "core/strategy.hpp"
+#include "model/instance.hpp"
+
+namespace idde::core {
+
+enum class UpdateRule { kBestImprovement, kFirstImprovement, kAsyncSweep };
+
+struct GameOptions {
+  UpdateRule rule = UpdateRule::kBestImprovement;
+  /// A move must improve the benefit by more than this to be applied;
+  /// guards floating-point livelock.
+  double improvement_epsilon = 1e-12;
+  /// Hard cap on rounds (Theorem 4 guarantees finite convergence; the cap
+  /// is a safety net, sized by the driver as ~O(M * candidates)).
+  std::size_t max_rounds = 1'000'000;
+  /// Optional restriction of each user's candidate servers to a subset of
+  /// its coverage (used by DUP-G, which only considers servers caching the
+  /// user's requested data). Must outlive the game; nullptr = full V_j.
+  const std::vector<std::vector<std::size_t>>* candidate_servers = nullptr;
+  /// Per-user move budget. Theorem 3's potential argument assumes
+  /// homogeneous channel gains; with fully heterogeneous gains
+  /// best-response dynamics can cycle, so each user is frozen after this
+  /// many moves. Empirically users move 1-4 times before equilibrium, so
+  /// the budget only engages on cycling instances.
+  std::size_t max_moves_per_user = 32;
+};
+
+struct GameResult {
+  AllocationProfile allocation;
+  std::size_t rounds = 0;
+  std::size_t moves = 0;
+  std::size_t benefit_evaluations = 0;
+  bool converged = false;
+  /// Users frozen by the per-user move budget (0 on potential-game
+  /// instances; > 0 means the returned profile is only an approximate
+  /// equilibrium).
+  std::size_t frozen_users = 0;
+};
+
+class IddeUGame {
+ public:
+  explicit IddeUGame(const model::ProblemInstance& instance,
+                     GameOptions options = {});
+
+  /// Runs best-response dynamics from the all-unallocated profile to a
+  /// Nash equilibrium (Definition 3).
+  [[nodiscard]] GameResult run();
+
+  /// Runs from a caller-supplied starting profile.
+  [[nodiscard]] GameResult run_from(const AllocationProfile& start);
+
+ private:
+  struct BestResponse {
+    ChannelSlot slot = kUnallocated;
+    double benefit = 0.0;
+  };
+
+  /// Best candidate in delta_j over covering servers x channels.
+  [[nodiscard]] BestResponse best_response(
+      const radio::InterferenceField& field, std::size_t user,
+      std::size_t* evaluations) const;
+
+  const model::ProblemInstance* instance_;
+  GameOptions options_;
+};
+
+/// Definition 3 check: no user can unilaterally improve its benefit by more
+/// than `epsilon`. Used by tests and the harness's self-checks.
+[[nodiscard]] bool is_nash_equilibrium(const model::ProblemInstance& instance,
+                                       const AllocationProfile& allocation,
+                                       double epsilon = 1e-9);
+
+}  // namespace idde::core

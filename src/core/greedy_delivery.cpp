@@ -1,0 +1,104 @@
+#include "core/greedy_delivery.hpp"
+
+#include <queue>
+#include <tuple>
+
+#include "util/assert.hpp"
+
+namespace idde::core {
+
+namespace {
+
+/// Heap entry: ratio key (possibly stale upper bound) plus the candidate.
+struct Candidate {
+  double ratio;
+  std::size_t server;
+  std::size_t item;
+
+  bool operator<(const Candidate& other) const {
+    return ratio < other.ratio;  // max-heap on ratio
+  }
+};
+
+constexpr double kMinGain = 1e-12;  // "no feasible improving decision"
+
+}  // namespace
+
+GreedyDeliveryPlanner::GreedyDeliveryPlanner(
+    const model::ProblemInstance& instance)
+    : instance_(&instance) {}
+
+GreedyDeliveryResult GreedyDeliveryPlanner::plan(
+    const AllocationProfile& allocation) const {
+  const model::ProblemInstance& instance = *instance_;
+  GreedyDeliveryResult result{DeliveryProfile(instance), 0, 0};
+  DeliveryEvaluator evaluator(instance, allocation);
+
+  std::priority_queue<Candidate> heap;
+  for (std::size_t i = 0; i < instance.server_count(); ++i) {
+    for (std::size_t k = 0; k < instance.data_count(); ++k) {
+      if (!result.delivery.can_place(i, k)) continue;
+      const double gain = evaluator.gain_seconds(i, k);
+      ++result.gain_evaluations;
+      if (gain > kMinGain) {
+        heap.push(Candidate{gain / instance.data(k).size_mb, i, k});
+      }
+    }
+  }
+
+  while (!heap.empty()) {
+    const Candidate top = heap.top();
+    heap.pop();
+    // Storage only shrinks, so a now-infeasible candidate never returns.
+    if (!result.delivery.can_place(top.server, top.item)) continue;
+    const double gain = evaluator.gain_seconds(top.server, top.item);
+    ++result.gain_evaluations;
+    const double ratio = gain / instance.data(top.item).size_mb;
+    if (gain <= kMinGain) continue;  // decayed to nothing, drop
+    if (!heap.empty() && ratio < heap.top().ratio) {
+      // Stale: the refreshed key is no longer the maximum.
+      heap.push(Candidate{ratio, top.server, top.item});
+      continue;
+    }
+    evaluator.commit(top.server, top.item);
+    result.delivery.place(top.server, top.item);
+    ++result.placements;
+  }
+  return result;
+}
+
+GreedyDeliveryResult GreedyDeliveryPlanner::plan_naive(
+    const AllocationProfile& allocation) const {
+  const model::ProblemInstance& instance = *instance_;
+  GreedyDeliveryResult result{DeliveryProfile(instance), 0, 0};
+  DeliveryEvaluator evaluator(instance, allocation);
+
+  for (;;) {
+    double best_ratio = 0.0;
+    std::size_t best_server = 0;
+    std::size_t best_item = 0;
+    bool found = false;
+    for (std::size_t i = 0; i < instance.server_count(); ++i) {
+      for (std::size_t k = 0; k < instance.data_count(); ++k) {
+        if (!result.delivery.can_place(i, k)) continue;
+        const double gain = evaluator.gain_seconds(i, k);
+        ++result.gain_evaluations;
+        if (gain <= kMinGain) continue;
+        const double ratio = gain / instance.data(k).size_mb;
+        if (!found || ratio > best_ratio) {
+          best_ratio = ratio;
+          best_server = i;
+          best_item = k;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    evaluator.commit(best_server, best_item);
+    result.delivery.place(best_server, best_item);
+    ++result.placements;
+  }
+  return result;
+}
+
+}  // namespace idde::core

@@ -1,0 +1,41 @@
+// Phase 2 of IDDE-G (Algorithm 1, lines 22-26): greedily add the placement
+// sigma_{i,k} with the highest latency-reduction-per-MB ratio (Eq. 17) until
+// nothing feasible improves.
+//
+// Two planners are provided:
+//  - plan(): lazy greedy. Because the committed min in Eq. 8 makes the gain
+//    of every candidate monotonically non-increasing as sigma grows
+//    (submodularity, the property behind Theorem 6), stale heap keys are
+//    valid upper bounds: re-evaluate only the popped top and either commit
+//    it (still the best) or push it back with its refreshed ratio.
+//  - plan_naive(): re-scores all N*K candidates per step; the oracle for
+//    tests and the ablation bench.
+#pragma once
+
+#include "core/delivery.hpp"
+#include "core/strategy.hpp"
+#include "model/instance.hpp"
+
+namespace idde::core {
+
+struct GreedyDeliveryResult {
+  DeliveryProfile delivery;
+  std::size_t placements = 0;
+  std::size_t gain_evaluations = 0;
+};
+
+class GreedyDeliveryPlanner {
+ public:
+  explicit GreedyDeliveryPlanner(const model::ProblemInstance& instance);
+
+  [[nodiscard]] GreedyDeliveryResult plan(
+      const AllocationProfile& allocation) const;
+
+  [[nodiscard]] GreedyDeliveryResult plan_naive(
+      const AllocationProfile& allocation) const;
+
+ private:
+  const model::ProblemInstance* instance_;
+};
+
+}  // namespace idde::core

@@ -1,0 +1,73 @@
+#include "core/potential.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace idde::core {
+
+double interference_bound(const model::ProblemInstance& instance,
+                          std::size_t user) {
+  const auto& env = instance.radio_env();
+  const auto& covering = env.covering_servers[user];
+  if (covering.empty()) return 0.0;
+
+  // R_{j,min}: the smallest rate user j could see alone on any candidate
+  // channel. T_j is then the interference headroom on the user's
+  // *best-gain* channel while still sustaining R_{j,min} — evaluating the
+  // bound at the min-rate channel itself would make it identically zero.
+  double r_min = std::numeric_limits<double>::infinity();
+  double bandwidth_at_min = 0.0;
+  double best_gain = 0.0;
+  for (const std::size_t i : covering) {
+    const double g = env.gain_at(i, user);
+    best_gain = std::max(best_gain, g);
+    for (std::size_t x = 0; x < env.channels_per_server; ++x) {
+      const double b = env.bandwidth_at(i, x);
+      const double solo_rate =
+          b * std::log2(1.0 + g * env.power[user] / env.noise_watts);
+      if (solo_rate < r_min) {
+        r_min = solo_rate;
+        bandwidth_at_min = b;
+      }
+    }
+  }
+  const double denom = std::pow(2.0, r_min / bandwidth_at_min) - 1.0;
+  IDDE_ASSERT(denom > 0.0, "degenerate rate in Lemma 2 bound");
+  // >= 0 by construction; = 0 only when the user has a single candidate
+  // gain (e.g. exactly one covering server).
+  return std::max(0.0, best_gain * env.power[user] / denom - env.noise_watts);
+}
+
+double potential(const model::ProblemInstance& instance,
+                 const AllocationProfile& allocation) {
+  IDDE_EXPECTS(allocation.size() == instance.user_count());
+  radio::InterferenceField field(instance.radio_env());
+  for (std::size_t j = 0; j < allocation.size(); ++j) {
+    if (allocation[j].allocated()) field.add_user(j, allocation[j]);
+  }
+  const std::size_t m = instance.user_count();
+  std::vector<double> beta(m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    if (allocation[j].allocated()) beta[j] = field.benefit(j, allocation[j]);
+  }
+
+  double pairwise = 0.0;
+  double penalty = 0.0;
+  double beta_sum = 0.0;
+  for (std::size_t j = 0; j < m; ++j) beta_sum += beta[j];
+  for (std::size_t j = 0; j < m; ++j) {
+    if (allocation[j].allocated()) {
+      // 1/2 sum_{j} sum_{q != j} beta_j beta_q over allocated pairs.
+      pairwise += beta[j] * (beta_sum - beta[j]);
+    } else {
+      penalty += interference_bound(instance, j) * beta_sum;
+    }
+  }
+  return 0.5 * pairwise - penalty;
+}
+
+}  // namespace idde::core

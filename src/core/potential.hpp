@@ -1,0 +1,24 @@
+// The potential function of the IDDE-U game (Eq. 13) and the per-user
+// interference bound T_j of Lemma 2. Used by tests to check the
+// potential-game property along best-response trajectories (Theorem 3) and
+// by EXPERIMENTS.md's theory-check table.
+#pragma once
+
+#include "core/strategy.hpp"
+#include "model/instance.hpp"
+
+namespace idde::core {
+
+/// Lemma 2's bound T_j = g_{i,x,j} p_j / (2^{R_{j,min}/B_{i,x}} - 1) - w,
+/// evaluated at user j's best covering server and with R_{j,min} taken as
+/// the smallest single-user rate over j's candidate channels. Returns 0 for
+/// uncovered users (they have no candidate channels).
+[[nodiscard]] double interference_bound(const model::ProblemInstance& instance,
+                                        std::size_t user);
+
+/// Eq. 13: pairwise-product potential over allocated users, minus the
+/// T_j-weighted penalty for unallocated users. O(M^2) — test-scale only.
+[[nodiscard]] double potential(const model::ProblemInstance& instance,
+                               const AllocationProfile& allocation);
+
+}  // namespace idde::core

@@ -1,0 +1,100 @@
+#include "core/refinement.hpp"
+
+#include <limits>
+
+#include "core/delivery.hpp"
+#include "core/greedy_delivery.hpp"
+#include "core/idde_g.hpp"
+#include "util/assert.hpp"
+
+namespace idde::core {
+
+namespace {
+
+/// Latency user j would experience for all of its requests if served by
+/// `server` under `delivery` (cloud-capped, Eq. 8).
+double user_latency_seconds(const model::ProblemInstance& instance,
+                            const DeliveryProfile& delivery, std::size_t user,
+                            std::size_t server) {
+  double total = 0.0;
+  for (const std::size_t k : instance.requests().items_of(user)) {
+    const double size = instance.data(k).size_mb;
+    double best = instance.latency().cloud_transfer_seconds(size);
+    for (const std::size_t host : delivery.hosts(k)) {
+      best = std::min(best,
+                      instance.latency().edge_transfer_seconds(host, server,
+                                                               size));
+    }
+    total += best;
+  }
+  return total;
+}
+
+}  // namespace
+
+Strategy IddeGPlus::solve(const model::ProblemInstance& instance,
+                          util::Rng& rng) const {
+  IDDE_EXPECTS(options_.epsilon_fraction >= 0.0);
+
+  // Base run: plain IDDE-G.
+  IddeGOptions base_options;
+  base_options.game = options_.game;
+  Strategy strategy = IddeG(base_options).solve(instance, rng);
+  strategy.approach_name = name();
+
+  const std::size_t channels = instance.radio_env().channels_per_server;
+  GreedyDeliveryPlanner planner(instance);
+
+  for (std::size_t round = 0; round < options_.refinement_rounds; ++round) {
+    // Re-point nearly-indifferent users toward their data.
+    radio::InterferenceField field(instance.radio_env());
+    for (std::size_t j = 0; j < strategy.allocation.size(); ++j) {
+      if (strategy.allocation[j].allocated()) {
+        field.add_user(j, strategy.allocation[j]);
+      }
+    }
+    bool any_moved = false;
+    for (std::size_t j = 0; j < instance.user_count(); ++j) {
+      if (!strategy.allocation[j].allocated()) continue;
+      const double current_benefit = field.benefit(j, strategy.allocation[j]);
+      const double benefit_floor =
+          current_benefit * (1.0 - options_.epsilon_fraction);
+      const double current_latency = user_latency_seconds(
+          instance, strategy.delivery, j, strategy.allocation[j].server);
+
+      ChannelSlot best_slot = strategy.allocation[j];
+      double best_latency = current_latency;
+      double best_benefit = current_benefit;
+      for (const std::size_t i : instance.covering_servers(j)) {
+        const double latency =
+            user_latency_seconds(instance, strategy.delivery, j, i);
+        if (latency >= best_latency - 1e-12) continue;
+        for (std::size_t x = 0; x < channels; ++x) {
+          const ChannelSlot slot{i, x};
+          const double benefit = field.benefit(j, slot);
+          if (benefit >= benefit_floor) {
+            best_slot = slot;
+            best_latency = latency;
+            best_benefit = benefit;
+            break;  // any admissible channel on this (closer) server works
+          }
+        }
+      }
+      if (!(best_slot == strategy.allocation[j])) {
+        field.move_user(j, best_slot);
+        strategy.allocation[j] = best_slot;
+        any_moved = true;
+        (void)best_benefit;
+      }
+    }
+    if (!any_moved) break;
+
+    // Re-run Phase 2 on the adjusted allocation.
+    GreedyDeliveryResult replan = planner.plan(strategy.allocation);
+    strategy.delivery = std::move(replan.delivery);
+    strategy.placements = replan.placements;
+  }
+  return strategy;
+}
+
+}  // namespace idde::core

@@ -1,0 +1,45 @@
+// IDDE-G+ — a joint-refinement extension beyond the paper.
+//
+// IDDE-G fixes the allocation before placing any data, so a user that is
+// indifferent (or nearly indifferent) between two covering servers may be
+// parked on the one that ends up far from its data. The refinement loop
+// exploits that slack: after Phase 2, every user whose benefit would drop
+// by at most `epsilon_fraction` is re-pointed to the candidate channel that
+// minimises its own delivery latency under the current placements, and
+// Phase 2 is re-run on the adjusted allocation. Iterating a couple of
+// rounds trades an (explicitly bounded) sliver of Objective #1 for a
+// further cut in Objective #2; bench/ext_refinement sweeps the trade-off.
+#pragma once
+
+#include "core/approach.hpp"
+#include "core/game.hpp"
+
+namespace idde::core {
+
+struct RefinementOptions {
+  GameOptions game;
+  /// A refinement move may lower the mover's benefit by at most this
+  /// fraction of its current benefit (0 = only latency-neutral ties).
+  double epsilon_fraction = 0.05;
+  /// Alternations of (reallocate, re-place) after the base IDDE-G run.
+  std::size_t refinement_rounds = 2;
+};
+
+class IddeGPlus final : public Approach {
+ public:
+  explicit IddeGPlus(RefinementOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "IDDE-G+"; }
+
+  [[nodiscard]] Strategy solve(const model::ProblemInstance& instance,
+                               util::Rng& rng) const override;
+
+  [[nodiscard]] const RefinementOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  RefinementOptions options_;
+};
+
+}  // namespace idde::core

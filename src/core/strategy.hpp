@@ -1,0 +1,87 @@
+// The two halves of an IDDE strategy (Definitions 1 and 2):
+//  - AllocationProfile alpha: one ChannelSlot per user,
+//  - DeliveryProfile sigma: the set of (server, item) replica placements,
+//    tracked together with per-server storage headroom.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/instance.hpp"
+#include "radio/interference.hpp"
+
+namespace idde::core {
+
+using radio::ChannelSlot;
+using radio::kUnallocated;
+
+/// alpha = {alpha_1 .. alpha_M}; alpha_j = kUnallocated encodes (0,0).
+using AllocationProfile = std::vector<ChannelSlot>;
+
+/// sigma = {sigma_{i,k}} with the storage constraint (Eq. 6) enforced at
+/// every mutation. The cloud's implicit replicas (Eq. 7) are not stored.
+class DeliveryProfile {
+ public:
+  explicit DeliveryProfile(const model::ProblemInstance& instance);
+
+  /// True iff sigma_{i,k} = 1.
+  [[nodiscard]] bool placed(std::size_t server, std::size_t item) const {
+    return flags_[server * data_count_ + item];
+  }
+
+  /// Whether placing d_k on v_i would respect Eq. (6) (and is not a
+  /// duplicate placement).
+  [[nodiscard]] bool can_place(std::size_t server, std::size_t item) const;
+
+  /// Sets sigma_{i,k} = 1. Aborts if infeasible — callers must check.
+  void place(std::size_t server, std::size_t item);
+
+  /// Remaining reserved space on v_i (MB).
+  [[nodiscard]] double free_mb(std::size_t server) const {
+    return free_mb_[server];
+  }
+
+  /// Servers currently hosting d_k (ascending ids).
+  [[nodiscard]] std::span<const std::size_t> hosts(std::size_t item) const {
+    return hosts_[item];
+  }
+
+  [[nodiscard]] std::size_t placement_count() const noexcept { return count_; }
+  [[nodiscard]] std::size_t server_count() const noexcept {
+    return free_mb_.size();
+  }
+  [[nodiscard]] std::size_t data_count() const noexcept { return data_count_; }
+
+ private:
+  const model::ProblemInstance* instance_;
+  std::size_t data_count_;
+  std::vector<bool> flags_;               // N x K
+  std::vector<double> free_mb_;           // per server
+  std::vector<std::vector<std::size_t>> hosts_;  // per item
+  std::size_t count_ = 0;
+};
+
+/// A complete IDDE strategy plus solver diagnostics.
+struct Strategy {
+  Strategy(AllocationProfile alloc, DeliveryProfile del)
+      : allocation(std::move(alloc)), delivery(std::move(del)) {}
+
+  AllocationProfile allocation;
+  DeliveryProfile delivery;
+  /// Whether the scheme implements edge-server collaboration at delivery
+  /// time. Approaches whose delivery plane cannot fetch from neighbouring
+  /// edge servers (CDP, DUP-G — see Section 4.1/5 of the paper) serve a
+  /// request from the user's own server or the cloud only; Eq. 8's full
+  /// min applies when true.
+  bool collaborative_delivery = true;
+  // Diagnostics, filled by the producing approach.
+  std::string approach_name;
+  std::size_t game_rounds = 0;    ///< Phase-1 best-response rounds
+  std::size_t game_moves = 0;     ///< applied allocation updates
+  bool game_converged = true;     ///< false if the round cap was hit
+  std::size_t placements = 0;     ///< Phase-2 placements taken
+};
+
+}  // namespace idde::core

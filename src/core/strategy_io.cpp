@@ -1,0 +1,82 @@
+#include "core/strategy_io.hpp"
+
+#include "util/assert.hpp"
+
+namespace idde::core {
+
+using util::Json;
+using util::JsonArray;
+using util::JsonObject;
+
+Json strategy_to_json(const Strategy& strategy) {
+  JsonArray allocation;
+  for (const ChannelSlot& slot : strategy.allocation) {
+    if (!slot.allocated()) {
+      allocation.emplace_back(nullptr);
+    } else {
+      allocation.push_back(Json(JsonObject{
+          {"server", Json(slot.server)},
+          {"channel", Json(slot.channel)},
+      }));
+    }
+  }
+  JsonArray placements;
+  for (std::size_t k = 0; k < strategy.delivery.data_count(); ++k) {
+    for (const std::size_t i : strategy.delivery.hosts(k)) {
+      placements.push_back(Json(JsonObject{
+          {"server", Json(i)},
+          {"item", Json(k)},
+      }));
+    }
+  }
+  return Json(JsonObject{
+      {"format", Json("idde-strategy-v1")},
+      {"approach", Json(strategy.approach_name)},
+      {"collaborative_delivery", Json(strategy.collaborative_delivery)},
+      {"allocation", Json(std::move(allocation))},
+      {"placements", Json(std::move(placements))},
+  });
+}
+
+Strategy strategy_from_json(const model::ProblemInstance& instance,
+                            const Json& json) {
+  IDDE_ASSERT(json.string_or("format", "") == "idde-strategy-v1",
+              "unknown strategy format");
+  const auto& allocation_json = json.at("allocation").as_array();
+  IDDE_ASSERT(allocation_json.size() == instance.user_count(),
+              "allocation size mismatch");
+
+  AllocationProfile allocation(instance.user_count(), kUnallocated);
+  for (std::size_t j = 0; j < allocation_json.size(); ++j) {
+    const Json& slot = allocation_json[j];
+    if (slot.is_null()) continue;
+    allocation[j] = ChannelSlot{
+        static_cast<std::size_t>(slot.at("server").as_int()),
+        static_cast<std::size_t>(slot.at("channel").as_int()),
+    };
+  }
+
+  DeliveryProfile delivery(instance);
+  for (const Json& placement : json.at("placements").as_array()) {
+    delivery.place(static_cast<std::size_t>(placement.at("server").as_int()),
+                   static_cast<std::size_t>(placement.at("item").as_int()));
+  }
+
+  Strategy strategy{std::move(allocation), std::move(delivery)};
+  strategy.approach_name = json.string_or("approach", "");
+  strategy.collaborative_delivery =
+      json.bool_or("collaborative_delivery", true);
+  strategy.placements = strategy.delivery.placement_count();
+  return strategy;
+}
+
+std::string strategy_to_string(const Strategy& strategy, int indent) {
+  return strategy_to_json(strategy).dump(indent);
+}
+
+Strategy strategy_from_string(const model::ProblemInstance& instance,
+                              const std::string& text) {
+  return strategy_from_json(instance, Json::parse(text));
+}
+
+}  // namespace idde::core

@@ -1,0 +1,27 @@
+// Strategy (de)serialisation: the user-allocation profile and the replica
+// placements, so strategies can be archived next to their instances and
+// re-evaluated later (tools/idde_tool drives this end-to-end).
+#pragma once
+
+#include <string>
+
+#include "core/strategy.hpp"
+#include "model/instance.hpp"
+#include "util/json.hpp"
+
+namespace idde::core {
+
+[[nodiscard]] util::Json strategy_to_json(const Strategy& strategy);
+
+/// Rebuilds a strategy against `instance`. Placements are re-applied
+/// through DeliveryProfile::place, so a stored strategy that violates the
+/// storage constraint of this instance aborts rather than loading silently.
+[[nodiscard]] Strategy strategy_from_json(
+    const model::ProblemInstance& instance, const util::Json& json);
+
+[[nodiscard]] std::string strategy_to_string(const Strategy& strategy,
+                                             int indent = -1);
+[[nodiscard]] Strategy strategy_from_string(
+    const model::ProblemInstance& instance, const std::string& text);
+
+}  // namespace idde::core

@@ -1,0 +1,18 @@
+// Strategy-level feasibility checks: Eq. (1) (allocation only within
+// coverage), channel-range validity, and Eq. (6) (storage constraint,
+// re-verified from scratch rather than trusting DeliveryProfile's running
+// bookkeeping).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/strategy.hpp"
+#include "model/instance.hpp"
+
+namespace idde::core {
+
+[[nodiscard]] std::vector<std::string> validate_strategy(
+    const model::ProblemInstance& instance, const Strategy& strategy);
+
+}  // namespace idde::core

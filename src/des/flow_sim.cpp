@@ -1,0 +1,260 @@
+#include "des/flow_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "net/shortest_path.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace idde::des {
+
+namespace {
+
+/// One routed transfer in flight.
+struct ActiveFlow {
+  std::size_t record_index;
+  double remaining_mb;
+  std::vector<std::size_t> links;
+  double rate_mbps = 0.0;
+};
+
+/// Max-min fair rates for the active flows over shared links (iterative
+/// water-filling: repeatedly freeze the flows of the tightest link).
+void assign_max_min_rates(std::vector<ActiveFlow>& flows,
+                          const std::vector<double>& capacities) {
+  std::vector<double> remaining_cap = capacities;
+  std::vector<std::size_t> unfrozen_count(capacities.size(), 0);
+  std::vector<bool> frozen(flows.size(), false);
+  for (const ActiveFlow& flow : flows) {
+    for (const std::size_t l : flow.links) ++unfrozen_count[l];
+  }
+  std::size_t flows_left = flows.size();
+  while (flows_left > 0) {
+    // Tightest link among those still carrying unfrozen flows.
+    double best_share = std::numeric_limits<double>::infinity();
+    std::size_t best_link = static_cast<std::size_t>(-1);
+    for (std::size_t l = 0; l < capacities.size(); ++l) {
+      if (unfrozen_count[l] == 0) continue;
+      const double share =
+          remaining_cap[l] / static_cast<double>(unfrozen_count[l]);
+      if (share < best_share) {
+        best_share = share;
+        best_link = l;
+      }
+    }
+    IDDE_ASSERT(best_link != static_cast<std::size_t>(-1),
+                "active flow without links");
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (frozen[f]) continue;
+      const auto& ls = flows[f].links;
+      if (std::find(ls.begin(), ls.end(), best_link) == ls.end()) continue;
+      flows[f].rate_mbps = best_share;
+      frozen[f] = true;
+      --flows_left;
+      for (const std::size_t l : ls) {
+        remaining_cap[l] -= best_share;
+        --unfrozen_count[l];
+      }
+      // Guard fp residue.
+      for (const std::size_t l : ls) {
+        remaining_cap[l] = std::max(remaining_cap[l], 0.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+FlowLevelSimulator::FlowLevelSimulator(const model::ProblemInstance& instance,
+                                       FlowSimOptions options)
+    : instance_(&instance), options_(options) {
+  IDDE_EXPECTS(options.link_capacity_scale > 0.0);
+  IDDE_EXPECTS(options.arrival_window_s >= 0.0);
+  // Deduplicated undirected link table; parallel edges keep the fastest.
+  std::map<std::pair<std::size_t, std::size_t>, double> best;
+  const net::Graph& graph = instance.graph();
+  for (std::size_t a = 0; a < graph.node_count(); ++a) {
+    for (const net::Neighbor& nb : graph.neighbors(a)) {
+      if (a >= nb.node) continue;
+      const double capacity =
+          options.link_capacity_scale / nb.weight;  // MB/s
+      auto [it, inserted] = best.try_emplace({a, nb.node}, capacity);
+      if (!inserted) it->second = std::max(it->second, capacity);
+    }
+  }
+  links_.reserve(best.size());
+  for (const auto& [key, capacity] : best) {
+    links_.push_back(Link{key.first, key.second, capacity});
+  }
+}
+
+std::size_t FlowLevelSimulator::link_between(std::size_t a,
+                                             std::size_t b) const {
+  const auto key = std::pair{std::min(a, b), std::max(a, b)};
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    if (links_[l].a == key.first && links_[l].b == key.second) return l;
+  }
+  return kNoLink;
+}
+
+FlowSimResult FlowLevelSimulator::run(const core::Strategy& strategy,
+                                      util::Rng& rng) const {
+  const model::ProblemInstance& instance = *instance_;
+  IDDE_EXPECTS(strategy.allocation.size() == instance.user_count());
+
+  FlowSimResult result;
+  std::vector<ActiveFlow> pending;  // routed flows not yet started
+
+  for (std::size_t j = 0; j < instance.user_count(); ++j) {
+    const bool allocated = strategy.allocation[j].allocated();
+    const std::size_t serving =
+        allocated ? strategy.allocation[j].server : 0;
+    for (const std::size_t k : instance.requests().items_of(j)) {
+      const double size = instance.data(k).size_mb;
+      FlowRecord record;
+      record.user = j;
+      record.item = k;
+      record.arrival_s = options_.arrival_window_s > 0.0
+                             ? rng.uniform(0.0, options_.arrival_window_s)
+                             : 0.0;
+
+      // Pick the source per Eq. 8 under the strategy's delivery semantics.
+      double best_seconds =
+          instance.latency().cloud_transfer_seconds(size);
+      std::size_t best_source = static_cast<std::size_t>(-1);  // cloud
+      if (allocated) {
+        for (const std::size_t host : strategy.delivery.hosts(k)) {
+          if (!strategy.collaborative_delivery && host != serving) continue;
+          const double seconds =
+              instance.latency().edge_transfer_seconds(host, serving, size);
+          if (seconds < best_seconds) {
+            best_seconds = seconds;
+            best_source = host;
+          }
+        }
+      }
+
+      if (best_source == static_cast<std::size_t>(-1)) {
+        // Cloud leg: uncontended, as the paper assumes.
+        record.from_cloud = true;
+        record.completion_s = record.arrival_s + best_seconds;
+        ++result.cloud_fetches;
+        result.flows.push_back(record);
+        continue;
+      }
+      if (best_source == serving) {
+        record.local_hit = true;
+        record.completion_s = record.arrival_s;
+        ++result.local_hits;
+        result.flows.push_back(record);
+        continue;
+      }
+
+      // Routed flow over the shared links.
+      const net::Route route =
+          net::shortest_route(instance.graph(), best_source, serving);
+      IDDE_ASSERT(!route.nodes.empty(), "replica unreachable over the edge");
+      record.hops = route.hops();
+      const std::size_t index = result.flows.size();
+      result.flows.push_back(record);
+      ActiveFlow flow;
+      flow.record_index = index;
+      flow.remaining_mb = size;
+      for (std::size_t s = 0; s + 1 < route.nodes.size(); ++s) {
+        const std::size_t l = link_between(route.nodes[s],
+                                           route.nodes[s + 1]);
+        IDDE_ASSERT(l != kNoLink, "route uses a missing link");
+        flow.links.push_back(l);
+      }
+      pending.push_back(std::move(flow));
+    }
+  }
+
+  // Fluid event loop over the routed flows.
+  std::vector<double> capacities;
+  capacities.reserve(links_.size());
+  for (const Link& link : links_) capacities.push_back(link.capacity_mbps);
+
+  std::sort(pending.begin(), pending.end(),
+            [&](const ActiveFlow& x, const ActiveFlow& y) {
+              return result.flows[x.record_index].arrival_s <
+                     result.flows[y.record_index].arrival_s;
+            });
+  std::vector<ActiveFlow> active;
+  std::size_t next_pending = 0;
+  double now = 0.0;
+  while (!active.empty() || next_pending < pending.size()) {
+    if (active.empty()) {
+      // Jump to the next arrival.
+      active.push_back(pending[next_pending]);
+      now = result.flows[active.back().record_index].arrival_s;
+      ++next_pending;
+      // Absorb simultaneous arrivals.
+      while (next_pending < pending.size() &&
+             result.flows[pending[next_pending].record_index].arrival_s <=
+                 now) {
+        active.push_back(pending[next_pending]);
+        ++next_pending;
+      }
+    }
+    assign_max_min_rates(active, capacities);
+    ++result.rate_recomputations;
+
+    // Next event: first completion or next arrival.
+    double dt_complete = std::numeric_limits<double>::infinity();
+    for (const ActiveFlow& flow : active) {
+      IDDE_ASSERT(flow.rate_mbps > 0.0, "starved flow");
+      dt_complete = std::min(dt_complete, flow.remaining_mb / flow.rate_mbps);
+    }
+    double dt = dt_complete;
+    bool arrival_event = false;
+    if (next_pending < pending.size()) {
+      const double next_arrival =
+          result.flows[pending[next_pending].record_index].arrival_s;
+      if (next_arrival - now < dt) {
+        dt = next_arrival - now;
+        arrival_event = true;
+      }
+    }
+
+    // Advance fluid state.
+    for (ActiveFlow& flow : active) {
+      flow.remaining_mb -= flow.rate_mbps * dt;
+    }
+    now += dt;
+
+    if (arrival_event) {
+      active.push_back(pending[next_pending]);
+      ++next_pending;
+    }
+    // Retire completed flows (tolerance for fp drift).
+    for (std::size_t f = 0; f < active.size();) {
+      if (active[f].remaining_mb <= 1e-9) {
+        result.flows[active[f].record_index].completion_s = now;
+        active[f] = active.back();
+        active.pop_back();
+      } else {
+        ++f;
+      }
+    }
+  }
+
+  // Aggregates.
+  std::vector<double> durations_ms;
+  durations_ms.reserve(result.flows.size());
+  double makespan = 0.0;
+  for (const FlowRecord& record : result.flows) {
+    durations_ms.push_back(record.duration_s() * 1e3);
+    makespan = std::max(makespan, record.completion_s);
+  }
+  if (!durations_ms.empty()) {
+    result.mean_duration_ms = util::mean_of(durations_ms);
+    result.p95_duration_ms = util::percentile(durations_ms, 95.0);
+  }
+  result.makespan_s = makespan;
+  return result;
+}
+
+}  // namespace idde::des

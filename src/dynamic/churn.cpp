@@ -1,0 +1,51 @@
+#include "dynamic/churn.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace idde::dynamic {
+
+ChurnProcess::ChurnProcess(std::size_t user_count, ChurnParams params,
+                           util::Rng& rng)
+    : online_(user_count, false), params_(params) {
+  IDDE_EXPECTS(params.arrival_rate_hz >= 0.0);
+  IDDE_EXPECTS(params.initial_online_fraction >= 0.0 &&
+               params.initial_online_fraction <= 1.0);
+  for (std::size_t j = 0; j < user_count; ++j) {
+    if (rng.bernoulli(params.initial_online_fraction)) {
+      online_[j] = true;
+      ++count_;
+    }
+  }
+}
+
+std::size_t ChurnProcess::step(double dt_seconds, util::Rng& rng) {
+  IDDE_EXPECTS(dt_seconds >= 0.0);
+  // Exact per-step toggle probabilities for an exponential clock.
+  const double p_arrive =
+      params_.arrival_rate_hz > 0.0
+          ? 1.0 - std::exp(-params_.arrival_rate_hz * dt_seconds)
+          : 0.0;
+  const double p_depart =
+      params_.mean_session_s > 0.0
+          ? 1.0 - std::exp(-dt_seconds / params_.mean_session_s)
+          : 0.0;
+  std::size_t toggled = 0;
+  for (std::size_t j = 0; j < online_.size(); ++j) {
+    if (online_[j]) {
+      if (rng.bernoulli(p_depart)) {
+        online_[j] = false;
+        --count_;
+        ++toggled;
+      }
+    } else if (rng.bernoulli(p_arrive)) {
+      online_[j] = true;
+      ++count_;
+      ++toggled;
+    }
+  }
+  return toggled;
+}
+
+}  // namespace idde::dynamic

@@ -1,0 +1,47 @@
+// Session churn: users go online and offline over time (the second half of
+// the paper's future-work dynamics, next to mobility). Modelled as an
+// independent two-state Markov process per user: an offline user comes
+// online at rate `arrival_rate_hz`; an online session ends at rate
+// 1/mean_session_s. Only online users transmit, interfere, and request
+// data.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace idde::dynamic {
+
+struct ChurnParams {
+  /// Per-offline-user rate of coming online (Hz). 0 disables arrivals.
+  double arrival_rate_hz = 1.0 / 120.0;
+  /// Mean online session length (seconds). <= 0 disables departures.
+  double mean_session_s = 300.0;
+  /// Fraction of users online at t = 0.
+  double initial_online_fraction = 1.0;
+};
+
+class ChurnProcess {
+ public:
+  ChurnProcess(std::size_t user_count, ChurnParams params, util::Rng& rng);
+
+  /// Advances all users by dt; returns how many toggled state.
+  std::size_t step(double dt_seconds, util::Rng& rng);
+
+  [[nodiscard]] bool online(std::size_t user) const { return online_[user]; }
+  [[nodiscard]] const std::vector<bool>& mask() const noexcept {
+    return online_;
+  }
+  [[nodiscard]] std::size_t online_count() const noexcept { return count_; }
+  [[nodiscard]] std::size_t user_count() const noexcept {
+    return online_.size();
+  }
+
+ private:
+  std::vector<bool> online_;
+  ChurnParams params_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace idde::dynamic

@@ -1,0 +1,39 @@
+// Data-migration accounting between successive delivery profiles. When the
+// system re-plans sigma, new replicas must be transferred from the nearest
+// existing replica (or the cloud); removed replicas are free. The plan's
+// traffic and transfer time quantify the cost of re-optimisation — the
+// trade-off the re-solve-period ablation sweeps.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/strategy.hpp"
+#include "model/instance.hpp"
+
+namespace idde::dynamic {
+
+struct MigrationStep {
+  std::size_t item = 0;
+  std::size_t to_server = 0;
+  /// Source server, or kFromCloud.
+  std::size_t from_server = 0;
+  double transfer_seconds = 0.0;
+  static constexpr std::size_t kFromCloud = static_cast<std::size_t>(-1);
+};
+
+struct MigrationPlan {
+  std::vector<MigrationStep> steps;
+  double total_mb = 0.0;
+  double total_transfer_seconds = 0.0;  ///< sum, i.e. serialised transfers
+  std::size_t cloud_fetches = 0;
+};
+
+/// Computes the cheapest way to realise `next` starting from `previous`:
+/// each newly placed replica is sourced from the nearest server that held
+/// the item under `previous` (else the cloud).
+[[nodiscard]] MigrationPlan plan_migration(
+    const model::ProblemInstance& instance,
+    const core::DeliveryProfile& previous, const core::DeliveryProfile& next);
+
+}  // namespace idde::dynamic

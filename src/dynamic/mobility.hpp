@@ -1,0 +1,60 @@
+// User mobility — the paper's stated future work ("we will investigate the
+// dynamics of user movements and data migrations in IDDE scenarios").
+// Random-waypoint is the standard pedestrian model: each user walks toward
+// a uniformly drawn waypoint at a per-user speed, pauses, and picks the
+// next waypoint.
+#pragma once
+
+#include <vector>
+
+#include "geo/bbox.hpp"
+#include "geo/point.hpp"
+#include "util/random.hpp"
+
+namespace idde::dynamic {
+
+struct MobilityParams {
+  double min_speed_mps = 0.5;  ///< slow pedestrian
+  double max_speed_mps = 1.5;  ///< brisk pedestrian
+  double pause_seconds = 5.0;  ///< dwell at each waypoint
+};
+
+class RandomWaypointModel {
+ public:
+  /// Starts every user at its given position with a fresh waypoint.
+  RandomWaypointModel(std::vector<geo::Point> initial_positions,
+                      geo::BoundingBox bounds, MobilityParams params,
+                      util::Rng& rng);
+
+  /// Advances all users by `dt` seconds.
+  void step(double dt_seconds, util::Rng& rng);
+
+  [[nodiscard]] const std::vector<geo::Point>& positions() const noexcept {
+    return positions_;
+  }
+  [[nodiscard]] std::size_t user_count() const noexcept {
+    return positions_.size();
+  }
+
+  /// Total distance walked by all users so far (metres).
+  [[nodiscard]] double total_distance_m() const noexcept {
+    return total_distance_m_;
+  }
+
+ private:
+  struct WalkState {
+    geo::Point waypoint;
+    double speed_mps = 1.0;
+    double pause_left_s = 0.0;
+  };
+
+  void assign_waypoint(std::size_t user, util::Rng& rng);
+
+  std::vector<geo::Point> positions_;
+  std::vector<WalkState> walks_;
+  geo::BoundingBox bounds_;
+  MobilityParams params_;
+  double total_distance_m_ = 0.0;
+};
+
+}  // namespace idde::dynamic

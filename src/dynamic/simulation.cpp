@@ -1,0 +1,210 @@
+#include "dynamic/simulation.hpp"
+
+#include <algorithm>
+
+#include "core/delivery.hpp"
+#include "core/greedy_delivery.hpp"
+#include "core/idde_g.hpp"
+#include "core/metrics.hpp"
+#include "dynamic/world.hpp"
+#include "util/assert.hpp"
+
+namespace idde::dynamic {
+
+namespace {
+
+/// Copies a delivery profile's placements onto a profile bound to another
+/// (shape-identical) instance snapshot.
+core::DeliveryProfile rebind(const model::ProblemInstance& instance,
+                             const core::DeliveryProfile& source) {
+  core::DeliveryProfile out(instance);
+  for (std::size_t k = 0; k < instance.data_count(); ++k) {
+    for (const std::size_t i : source.hosts(k)) {
+      out.place(i, k);
+    }
+  }
+  return out;
+}
+
+/// R_avg over the online users only (offline users neither transmit nor
+/// count toward the average).
+double masked_rate(const model::ProblemInstance& instance,
+                   const core::AllocationProfile& allocation,
+                   const std::vector<bool>& online) {
+  const auto rates = core::user_rates(instance, allocation);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t j = 0; j < rates.size(); ++j) {
+    if (!online[j]) continue;
+    sum += rates[j];
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+/// L_avg over the online users' requests only.
+double masked_latency_ms(const model::ProblemInstance& instance,
+                         const core::AllocationProfile& allocation,
+                         const std::vector<bool>& online,
+                         const core::DeliveryProfile& placements) {
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t j = 0; j < instance.user_count(); ++j) {
+    if (!online[j]) continue;
+    const bool allocated = allocation[j].allocated();
+    for (const std::size_t k : instance.requests().items_of(j)) {
+      const double size = instance.data(k).size_mb;
+      double best = instance.latency().cloud_transfer_seconds(size);
+      if (allocated) {
+        for (const std::size_t host : placements.hosts(k)) {
+          best = std::min(best, instance.latency().edge_transfer_seconds(
+                                    host, allocation[j].server, size));
+        }
+      }
+      total += best;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count) * 1e3;
+}
+
+}  // namespace
+
+DynamicSimulation::DynamicSimulation(DynamicParams params, std::uint64_t seed)
+    : params_(std::move(params)), seed_(seed) {
+  IDDE_EXPECTS(params_.step_seconds > 0.0);
+  IDDE_EXPECTS(params_.steps > 0);
+}
+
+DynamicSummary DynamicSimulation::run() {
+  const model::ProblemInstance base =
+      model::make_instance(params_.base, seed_);
+  const radio::PathLossModel pathloss(params_.base.pathloss_eta,
+                                      params_.base.pathloss_exponent);
+  const geo::BoundingBox bounds =
+      geo::BoundingBox::square(params_.base.eua.area_side_m);
+
+  util::Rng rng(seed_ ^ 0xd15ab1edULL);
+  util::Rng walk_rng = rng.fork(1);
+  util::Rng solve_rng = rng.fork(2);
+
+  RandomWaypointModel mobility(user_positions(base), bounds,
+                               params_.mobility, walk_rng);
+  util::Rng churn_rng = rng.fork(3);
+  ChurnProcess churn(base.user_count(),
+                     params_.churn_enabled ? params_.churn : ChurnParams{},
+                     churn_rng);
+
+  // t = 0: initial solve on the base instance.
+  core::IddeG solver;
+  core::Strategy standing = solver.solve(base, solve_rng);
+  core::AllocationProfile allocation = standing.allocation;
+  // Placement data is carried as host lists; rebind per snapshot.
+  core::DeliveryProfile placements = rebind(base, standing.delivery);
+
+  DynamicSummary summary;
+  summary.total_resolves = 1;
+
+  for (std::size_t step = 1; step <= params_.steps; ++step) {
+    mobility.step(params_.step_seconds, walk_rng);
+    const model::ProblemInstance snapshot =
+        with_user_positions(base, mobility.positions(), pathloss);
+
+    StepRecord record;
+    record.time_s = static_cast<double>(step) * params_.step_seconds;
+
+    if (params_.churn_enabled) {
+      record.churn_events = churn.step(params_.step_seconds, churn_rng);
+      // Departed users release their channel immediately.
+      for (std::size_t j = 0; j < allocation.size(); ++j) {
+        if (!churn.online(j) && allocation[j].allocated()) {
+          allocation[j] = core::kUnallocated;
+        }
+      }
+    }
+    record.online_users = params_.churn_enabled ? churn.online_count()
+                                                : base.user_count();
+
+    // Drop users who walked out of their serving server's coverage.
+    for (std::size_t j = 0; j < allocation.size(); ++j) {
+      if (!allocation[j].allocated()) continue;
+      const auto& covering = snapshot.covering_servers(j);
+      if (!std::binary_search(covering.begin(), covering.end(),
+                              allocation[j].server)) {
+        allocation[j] = core::kUnallocated;
+        ++record.dropped_users;
+      }
+    }
+
+    const bool resolve_now =
+        params_.resolve_period > 0 && step % params_.resolve_period == 0;
+    if (resolve_now) {
+      record.resolved = true;
+      ++summary.total_resolves;
+
+      core::GameOptions game_options;
+      game_options.max_rounds =
+          std::max<std::size_t>(1000, snapshot.user_count() * 200);
+      // Offline users must not be (re)allocated: give them no candidates.
+      std::vector<std::vector<std::size_t>> candidates;
+      if (params_.churn_enabled) {
+        candidates.resize(snapshot.user_count());
+        for (std::size_t j = 0; j < snapshot.user_count(); ++j) {
+          if (churn.online(j)) candidates[j] = snapshot.covering_servers(j);
+        }
+        game_options.candidate_servers = &candidates;
+      }
+      core::IddeUGame game(snapshot, game_options);
+      const core::AllocationProfile before = allocation;
+      core::GameResult result =
+          params_.warm_start
+              ? game.run_from(allocation)
+              : game.run();
+      record.game_moves = result.moves;
+      for (std::size_t j = 0; j < allocation.size(); ++j) {
+        const bool was = before[j].allocated();
+        const bool now = result.allocation[j].allocated();
+        if (was != now ||
+            (was && now && before[j].server != result.allocation[j].server)) {
+          ++record.handovers;
+        }
+      }
+      summary.total_handovers += record.handovers;
+      allocation = std::move(result.allocation);
+
+      // Re-plan delivery and pay the migration.
+      core::GreedyDeliveryPlanner planner(snapshot);
+      core::DeliveryProfile next = planner.plan(allocation).delivery;
+      const core::DeliveryProfile previous = rebind(snapshot, placements);
+      const MigrationPlan migration =
+          plan_migration(snapshot, previous, next);
+      record.migration_mb = migration.total_mb;
+      summary.total_migration_mb += migration.total_mb;
+      placements = std::move(next);
+    }
+
+    const core::DeliveryProfile bound = rebind(snapshot, placements);
+    if (params_.churn_enabled) {
+      record.rate_mbps = masked_rate(snapshot, allocation, churn.mask());
+      record.latency_ms =
+          masked_latency_ms(snapshot, allocation, churn.mask(), bound);
+    } else {
+      record.rate_mbps = core::average_data_rate(snapshot, allocation);
+      record.latency_ms =
+          core::average_latency_ms(snapshot, allocation, bound);
+    }
+    summary.steps.push_back(record);
+  }
+
+  for (const StepRecord& record : summary.steps) {
+    summary.mean_rate_mbps += record.rate_mbps;
+    summary.mean_latency_ms += record.latency_ms;
+  }
+  const auto n = static_cast<double>(summary.steps.size());
+  summary.mean_rate_mbps /= n;
+  summary.mean_latency_ms /= n;
+  summary.total_distance_m = mobility.total_distance_m();
+  return summary;
+}
+
+}  // namespace idde::dynamic

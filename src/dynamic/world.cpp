@@ -1,0 +1,50 @@
+#include "dynamic/world.hpp"
+
+#include "util/assert.hpp"
+
+namespace idde::dynamic {
+
+model::ProblemInstance with_user_positions(
+    const model::ProblemInstance& base,
+    const std::vector<geo::Point>& positions,
+    const radio::PathLossModel& pathloss) {
+  IDDE_EXPECTS(positions.size() == base.user_count());
+
+  std::vector<model::User> users = base.users();
+  for (std::size_t j = 0; j < users.size(); ++j) {
+    users[j].position = positions[j];
+  }
+
+  radio::RadioEnvironment env = base.radio_env();
+  for (std::size_t i = 0; i < base.server_count(); ++i) {
+    const geo::Point& sp = base.server(i).position;
+    for (std::size_t j = 0; j < users.size(); ++j) {
+      env.gain[i * users.size() + j] =
+          pathloss.gain(geo::distance(sp, positions[j]));
+    }
+  }
+  for (std::size_t j = 0; j < users.size(); ++j) {
+    env.covering_servers[j].clear();
+    for (std::size_t i = 0; i < base.server_count(); ++i) {
+      if (geo::distance(base.server(i).position, positions[j]) <=
+          base.server(i).coverage_radius_m) {
+        env.covering_servers[j].push_back(i);
+      }
+    }
+  }
+
+  return model::ProblemInstance(base.servers(), std::move(users),
+                                base.data_items(), base.requests(),
+                                base.graph(), base.latency(), std::move(env));
+}
+
+std::vector<geo::Point> user_positions(const model::ProblemInstance& instance) {
+  std::vector<geo::Point> positions;
+  positions.reserve(instance.user_count());
+  for (const model::User& user : instance.users()) {
+    positions.push_back(user.position);
+  }
+  return positions;
+}
+
+}  // namespace idde::dynamic

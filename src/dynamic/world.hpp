@@ -1,0 +1,27 @@
+// Rebuilding instances as users move. Everything except user positions —
+// servers, storage, the edge network, the data catalogue, the request
+// matrix, user powers and rate caps — is carried over from the base
+// instance; channel gains and coverage sets are recomputed from the new
+// positions.
+#pragma once
+
+#include <vector>
+
+#include "geo/point.hpp"
+#include "model/instance.hpp"
+#include "radio/pathloss.hpp"
+
+namespace idde::dynamic {
+
+/// Returns a fresh instance identical to `base` except that user j sits at
+/// `positions[j]`. `positions.size()` must equal `base.user_count()`.
+[[nodiscard]] model::ProblemInstance with_user_positions(
+    const model::ProblemInstance& base,
+    const std::vector<geo::Point>& positions,
+    const radio::PathLossModel& pathloss);
+
+/// Initial user positions of an instance (convenience for mobility setup).
+[[nodiscard]] std::vector<geo::Point> user_positions(
+    const model::ProblemInstance& instance);
+
+}  // namespace idde::dynamic

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <algorithm>
+
+#include "geo/point.hpp"
+#include "util/assert.hpp"
+
+namespace idde::geo {
+
+/// Axis-aligned bounding box; `min` must be component-wise <= `max`.
+struct BoundingBox {
+  Point min;
+  Point max;
+
+  [[nodiscard]] double width() const noexcept { return max.x - min.x; }
+  [[nodiscard]] double height() const noexcept { return max.y - min.y; }
+
+  [[nodiscard]] bool contains(const Point& p) const noexcept {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  [[nodiscard]] Point clamp(const Point& p) const noexcept {
+    return Point{std::clamp(p.x, min.x, max.x), std::clamp(p.y, min.y, max.y)};
+  }
+
+  [[nodiscard]] static BoundingBox square(double side) {
+    IDDE_EXPECTS(side > 0.0);
+    return BoundingBox{Point{0.0, 0.0}, Point{side, side}};
+  }
+};
+
+}  // namespace idde::geo

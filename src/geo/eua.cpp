@@ -1,0 +1,104 @@
+#include "geo/eua.hpp"
+
+#include "geo/generators.hpp"
+#include "util/assert.hpp"
+
+namespace idde::geo {
+
+EuaScenario generate_eua_scenario(const EuaScenarioParams& params,
+                                  util::Rng& rng) {
+  IDDE_EXPECTS(params.server_count > 0);
+  IDDE_EXPECTS(params.area_side_m > 0.0);
+  IDDE_EXPECTS(params.min_coverage_radius_m > 0.0);
+  IDDE_EXPECTS(params.max_coverage_radius_m >= params.min_coverage_radius_m);
+
+  EuaScenario scenario;
+  scenario.bounds = BoundingBox::square(params.area_side_m);
+
+  util::Rng server_rng = rng.fork(0x5e17);
+  scenario.server_positions = generate_jittered_grid(
+      params.server_count, scenario.bounds, params.server_jitter_m,
+      server_rng);
+
+  util::Rng radius_rng = rng.fork(0x7ad1);
+  scenario.coverage_radii_m.reserve(params.server_count);
+  for (std::size_t i = 0; i < params.server_count; ++i) {
+    scenario.coverage_radii_m.push_back(radius_rng.uniform(
+        params.min_coverage_radius_m, params.max_coverage_radius_m));
+  }
+
+  util::Rng user_rng = rng.fork(0x05e5);
+  const ThomasParams thomas{
+      .parent_count = params.server_count,
+      .cluster_stddev = params.user_cluster_stddev_m,
+      .background_fraction = params.user_background_fraction,
+  };
+  scenario.user_positions =
+      generate_thomas(params.user_count, scenario.bounds, thomas, user_rng,
+                      &scenario.server_positions);
+  return scenario;
+}
+
+EuaScenario subsample_covered(const EuaScenario& full, std::size_t n,
+                              std::size_t m, util::Rng& rng) {
+  IDDE_EXPECTS(n > 0 && n <= full.server_positions.size());
+  IDDE_EXPECTS(m <= full.user_positions.size());
+
+  EuaScenario out;
+  out.bounds = full.bounds;
+
+  const auto server_ids = rng.sample_indices(full.server_positions.size(), n);
+  out.server_positions.reserve(n);
+  out.coverage_radii_m.reserve(n);
+  for (const std::size_t i : server_ids) {
+    out.server_positions.push_back(full.server_positions[i]);
+    out.coverage_radii_m.push_back(full.coverage_radii_m[i]);
+  }
+
+  // Split the user pool by coverage under the selected servers.
+  std::vector<std::size_t> covered;
+  std::vector<std::size_t> uncovered;
+  for (std::size_t j = 0; j < full.user_positions.size(); ++j) {
+    bool is_covered = false;
+    for (std::size_t s = 0; s < n && !is_covered; ++s) {
+      is_covered = distance(out.server_positions[s], full.user_positions[j]) <=
+                   out.coverage_radii_m[s];
+    }
+    (is_covered ? covered : uncovered).push_back(j);
+  }
+  rng.shuffle(covered);
+  rng.shuffle(uncovered);
+  covered.insert(covered.end(), uncovered.begin(), uncovered.end());
+
+  out.user_positions.reserve(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    out.user_positions.push_back(full.user_positions[covered[j]]);
+  }
+  return out;
+}
+
+EuaScenario subsample(const EuaScenario& full, std::size_t n, std::size_t m,
+                      util::Rng& rng) {
+  IDDE_EXPECTS(n > 0 && n <= full.server_positions.size());
+  IDDE_EXPECTS(m <= full.user_positions.size());
+
+  EuaScenario out;
+  out.bounds = full.bounds;
+
+  const auto server_ids = rng.sample_indices(full.server_positions.size(), n);
+  out.server_positions.reserve(n);
+  out.coverage_radii_m.reserve(n);
+  for (const std::size_t i : server_ids) {
+    out.server_positions.push_back(full.server_positions[i]);
+    out.coverage_radii_m.push_back(full.coverage_radii_m[i]);
+  }
+
+  const auto user_ids = rng.sample_indices(full.user_positions.size(), m);
+  out.user_positions.reserve(m);
+  for (const std::size_t j : user_ids) {
+    out.user_positions.push_back(full.user_positions[j]);
+  }
+  return out;
+}
+
+}  // namespace idde::geo

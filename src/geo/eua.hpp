@@ -1,0 +1,63 @@
+// Synthetic stand-in for the EUA dataset (github.com/swinedge/eua-dataset).
+//
+// The paper extracts 125 edge servers and 816 users from EUA's Melbourne CBD
+// records and sub-samples (N, M) per experiment. The dataset is not bundled
+// here, so we regenerate a layout with the same consumed statistics:
+//  - 125 server sites on a jittered grid over a 2.0 x 2.0 km square
+//    (EUA's servers are real base-station sites: regular with local noise),
+//  - coverage radii U[100, 200] m (matching EUA-based studies, e.g. the
+//    authors' prior work),
+//  - 816 users from a Thomas cluster process around server sites plus a
+//    uniform background, so coverage multiplicity spans 0..~6 like the CBD
+//    extraction.
+// See DESIGN.md §5 for the substitution argument.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/bbox.hpp"
+#include "geo/point.hpp"
+#include "util/random.hpp"
+
+namespace idde::geo {
+
+struct EuaScenarioParams {
+  std::size_t server_count = 125;
+  std::size_t user_count = 816;
+  double area_side_m = 2000.0;
+  double min_coverage_radius_m = 100.0;
+  double max_coverage_radius_m = 200.0;
+  double server_jitter_m = 60.0;
+  double user_cluster_stddev_m = 80.0;
+  double user_background_fraction = 0.25;
+};
+
+struct EuaScenario {
+  BoundingBox bounds;
+  std::vector<Point> server_positions;
+  std::vector<double> coverage_radii_m;  ///< parallel to server_positions
+  std::vector<Point> user_positions;
+};
+
+/// Generates the full 125-server / 816-user layout deterministically from
+/// `rng`. Experiments then sub-sample servers and users out of it, the same
+/// way the paper sub-samples the EUA extraction.
+[[nodiscard]] EuaScenario generate_eua_scenario(const EuaScenarioParams& params,
+                                                util::Rng& rng);
+
+/// Sub-samples `n` servers and `m` users (without replacement) from a full
+/// scenario; preserves pairing of positions and radii.
+[[nodiscard]] EuaScenario subsample(const EuaScenario& full, std::size_t n,
+                                    std::size_t m, util::Rng& rng);
+
+/// Like subsample, but draws users covered by at least one *selected*
+/// server first, falling back to uncovered users only when the covered
+/// pool is exhausted. This mirrors the paper's EUA extraction, where the
+/// experiment users are the ones inside the sampled servers' coverage
+/// (Fig. 4(a)'s ~R_max plateau at M=50 requires near-total coverage).
+[[nodiscard]] EuaScenario subsample_covered(const EuaScenario& full,
+                                            std::size_t n, std::size_t m,
+                                            util::Rng& rng);
+
+}  // namespace idde::geo

@@ -1,0 +1,75 @@
+#include "geo/generators.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace idde::geo {
+
+std::vector<Point> generate_uniform(std::size_t count,
+                                    const BoundingBox& bounds,
+                                    util::Rng& rng) {
+  std::vector<Point> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    points.push_back(Point{rng.uniform(bounds.min.x, bounds.max.x),
+                           rng.uniform(bounds.min.y, bounds.max.y)});
+  }
+  return points;
+}
+
+std::vector<Point> generate_jittered_grid(std::size_t count,
+                                          const BoundingBox& bounds,
+                                          double jitter, util::Rng& rng) {
+  IDDE_EXPECTS(jitter >= 0.0);
+  std::vector<Point> points;
+  points.reserve(count);
+  if (count == 0) return points;
+  const auto cols = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(count))));
+  const std::size_t rows = (count + cols - 1) / cols;
+  const double dx = bounds.width() / static_cast<double>(cols);
+  const double dy = bounds.height() / static_cast<double>(rows);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t r = i / cols;
+    const std::size_t c = i % cols;
+    Point p{bounds.min.x + (static_cast<double>(c) + 0.5) * dx +
+                rng.uniform(-jitter, jitter),
+            bounds.min.y + (static_cast<double>(r) + 0.5) * dy +
+                rng.uniform(-jitter, jitter)};
+    points.push_back(bounds.clamp(p));
+  }
+  return points;
+}
+
+std::vector<Point> generate_thomas(std::size_t count,
+                                   const BoundingBox& bounds,
+                                   const ThomasParams& params, util::Rng& rng,
+                                   const std::vector<Point>* centers) {
+  IDDE_EXPECTS(params.background_fraction >= 0.0 &&
+               params.background_fraction <= 1.0);
+  IDDE_EXPECTS(params.cluster_stddev >= 0.0);
+  std::vector<Point> parents;
+  if (centers != nullptr && !centers->empty()) {
+    parents = *centers;
+  } else {
+    IDDE_EXPECTS(params.parent_count > 0);
+    parents = generate_uniform(params.parent_count, bounds, rng);
+  }
+  std::vector<Point> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (rng.bernoulli(params.background_fraction)) {
+      points.push_back(Point{rng.uniform(bounds.min.x, bounds.max.x),
+                             rng.uniform(bounds.min.y, bounds.max.y)});
+      continue;
+    }
+    const Point& parent = parents[rng.index(parents.size())];
+    const Point p{parent.x + rng.normal(0.0, params.cluster_stddev),
+                  parent.y + rng.normal(0.0, params.cluster_stddev)};
+    points.push_back(bounds.clamp(p));
+  }
+  return points;
+}
+
+}  // namespace idde::geo

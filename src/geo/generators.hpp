@@ -1,0 +1,41 @@
+// Spatial point-process generators used to synthesise edge-server and user
+// layouts. Three processes cover the layouts the evaluation needs:
+//  - uniform: homogeneous Poisson-like scatter,
+//  - jittered grid: base-station-like regular deployments,
+//  - Thomas cluster: users clumping around attraction points (malls,
+//    stations), which is what makes interference non-trivial.
+#pragma once
+
+#include <vector>
+
+#include "geo/bbox.hpp"
+#include "geo/point.hpp"
+#include "util/random.hpp"
+
+namespace idde::geo {
+
+/// `count` i.i.d. uniform points in `bounds`.
+[[nodiscard]] std::vector<Point> generate_uniform(std::size_t count,
+                                                  const BoundingBox& bounds,
+                                                  util::Rng& rng);
+
+/// Roughly sqrt(count) x sqrt(count) grid filled row-major to exactly
+/// `count` points, each jittered by U[-jitter, jitter] per axis and clamped
+/// to bounds.
+[[nodiscard]] std::vector<Point> generate_jittered_grid(
+    std::size_t count, const BoundingBox& bounds, double jitter,
+    util::Rng& rng);
+
+struct ThomasParams {
+  std::size_t parent_count = 10;  ///< cluster centres (uniform in bounds)
+  double cluster_stddev = 50.0;   ///< Gaussian spread around each centre, m
+  double background_fraction = 0.1;  ///< fraction drawn uniformly instead
+};
+
+/// Thomas cluster process conditioned on a fixed total point count.
+/// Cluster centres may be supplied (e.g. server sites) or generated.
+[[nodiscard]] std::vector<Point> generate_thomas(
+    std::size_t count, const BoundingBox& bounds, const ThomasParams& params,
+    util::Rng& rng, const std::vector<Point>* centers = nullptr);
+
+}  // namespace idde::geo

@@ -1,0 +1,28 @@
+// Planar geometry primitives. All coordinates are metres in a local
+// tangent-plane frame (the EUA extraction covers ~2 km of the Melbourne CBD,
+// where planar distance is indistinguishable from geodesic distance).
+#pragma once
+
+#include <cmath>
+
+namespace idde::geo {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+};
+
+[[nodiscard]] inline double squared_distance(const Point& a,
+                                             const Point& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+[[nodiscard]] inline double distance(const Point& a, const Point& b) noexcept {
+  return std::sqrt(squared_distance(a, b));
+}
+
+}  // namespace idde::geo

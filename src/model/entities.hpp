@@ -1,0 +1,33 @@
+// Plain-data entities of the IDDE system model (Section 2.1 / Table 1).
+#pragma once
+
+#include <cstddef>
+
+#include "geo/point.hpp"
+
+namespace idde::model {
+
+using ServerId = std::size_t;
+using UserId = std::size_t;
+using DataId = std::size_t;
+
+/// Data item d_k.
+struct DataItem {
+  double size_mb = 0.0;  ///< s_k
+};
+
+/// Edge server v_i with its reserved storage A_i.
+struct EdgeServer {
+  geo::Point position;
+  double coverage_radius_m = 0.0;
+  double storage_mb = 0.0;  ///< A_i, reserved by the app vendor
+};
+
+/// Mobile user u_j.
+struct User {
+  geo::Point position;
+  double power_watts = 0.0;    ///< p_j
+  double max_rate_mbps = 0.0;  ///< R_{j,max}, the Shannon-capacity cap
+};
+
+}  // namespace idde::model

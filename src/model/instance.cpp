@@ -1,0 +1,46 @@
+#include "model/instance.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace idde::model {
+
+ProblemInstance::ProblemInstance(std::vector<EdgeServer> servers,
+                                 std::vector<User> users,
+                                 std::vector<DataItem> data,
+                                 RequestMatrix requests, net::Graph graph,
+                                 net::DeliveryLatencyModel latency,
+                                 radio::RadioEnvironment radio_env)
+    : servers_(std::move(servers)),
+      users_(std::move(users)),
+      data_(std::move(data)),
+      requests_(std::move(requests)),
+      graph_(std::move(graph)),
+      latency_(std::move(latency)),
+      radio_env_(std::move(radio_env)) {
+  IDDE_EXPECTS(requests_.user_count() == users_.size());
+  IDDE_EXPECTS(requests_.data_count() == data_.size());
+  IDDE_EXPECTS(graph_.node_count() == servers_.size());
+  IDDE_EXPECTS(latency_.server_count() == servers_.size());
+  IDDE_EXPECTS(radio_env_.server_count == servers_.size());
+  IDDE_EXPECTS(radio_env_.user_count == users_.size());
+  radio_env_.check();
+
+  covered_users_.resize(servers_.size());
+  for (UserId j = 0; j < users_.size(); ++j) {
+    for (const ServerId i : radio_env_.covering_servers[j]) {
+      covered_users_[i].push_back(j);
+    }
+  }
+  for (const EdgeServer& s : servers_) {
+    IDDE_EXPECTS(s.storage_mb >= 0.0);
+    total_storage_mb_ += s.storage_mb;
+  }
+  for (const DataItem& d : data_) {
+    IDDE_EXPECTS(d.size_mb > 0.0);
+    max_data_size_mb_ = std::max(max_data_size_mb_, d.size_mb);
+  }
+}
+
+}  // namespace idde::model

@@ -1,0 +1,178 @@
+#include "model/instance_io.hpp"
+
+#include <utility>
+
+#include "net/graph_gen.hpp"
+#include "util/assert.hpp"
+
+namespace idde::model {
+
+using util::Json;
+using util::JsonArray;
+using util::JsonObject;
+
+Json instance_to_json(const ProblemInstance& instance) {
+  JsonArray servers;
+  for (const EdgeServer& s : instance.servers()) {
+    servers.push_back(Json(JsonObject{
+        {"x", Json(s.position.x)},
+        {"y", Json(s.position.y)},
+        {"radius_m", Json(s.coverage_radius_m)},
+        {"storage_mb", Json(s.storage_mb)},
+    }));
+  }
+
+  JsonArray users;
+  for (const User& u : instance.users()) {
+    users.push_back(Json(JsonObject{
+        {"x", Json(u.position.x)},
+        {"y", Json(u.position.y)},
+        {"power_w", Json(u.power_watts)},
+        {"max_rate_mbps", Json(u.max_rate_mbps)},
+    }));
+  }
+
+  JsonArray data;
+  for (const DataItem& d : instance.data_items()) {
+    data.push_back(Json(JsonObject{{"size_mb", Json(d.size_mb)}}));
+  }
+
+  JsonArray requests;  // per user, the list of requested item ids
+  for (std::size_t j = 0; j < instance.user_count(); ++j) {
+    JsonArray items;
+    for (const std::size_t k : instance.requests().items_of(j)) {
+      items.emplace_back(k);
+    }
+    requests.push_back(Json(std::move(items)));
+  }
+
+  // Undirected edge list reconstructed from the adjacency (from < to keeps
+  // each edge once; parallel edges are preserved pairwise).
+  JsonArray edges;
+  for (std::size_t i = 0; i < instance.server_count(); ++i) {
+    for (const net::Neighbor& nb : instance.graph().neighbors(i)) {
+      if (i < nb.node) {
+        edges.push_back(Json(JsonObject{
+            {"from", Json(i)},
+            {"to", Json(nb.node)},
+            {"seconds_per_mb", Json(nb.weight)},
+        }));
+      }
+    }
+  }
+
+  const auto& env = instance.radio_env();
+  JsonArray gains;  // row-major N x M
+  gains.reserve(env.gain.size());
+  for (const double g : env.gain) gains.emplace_back(g);
+  JsonArray bandwidth;
+  for (const double b : env.bandwidth) bandwidth.emplace_back(b);
+
+  return Json(JsonObject{
+      {"format", Json("idde-instance-v1")},
+      {"servers", Json(std::move(servers))},
+      {"users", Json(std::move(users))},
+      {"data", Json(std::move(data))},
+      {"requests", Json(std::move(requests))},
+      {"edges", Json(std::move(edges))},
+      {"cloud_speed_mbps", Json(instance.latency().cloud_speed_mbps())},
+      {"radio",
+       Json(JsonObject{
+           {"channels_per_server", Json(env.channels_per_server)},
+           {"noise_watts", Json(env.noise_watts)},
+           {"bandwidth_mbps", Json(std::move(bandwidth))},
+           {"gain", Json(std::move(gains))},
+       })},
+  });
+}
+
+ProblemInstance instance_from_json(const Json& json) {
+  IDDE_ASSERT(json.string_or("format", "") == "idde-instance-v1",
+              "unknown instance format");
+
+  std::vector<EdgeServer> servers;
+  for (const Json& s : json.at("servers").as_array()) {
+    servers.push_back(EdgeServer{
+        .position = {s.at("x").as_number(), s.at("y").as_number()},
+        .coverage_radius_m = s.at("radius_m").as_number(),
+        .storage_mb = s.at("storage_mb").as_number(),
+    });
+  }
+
+  std::vector<User> users;
+  for (const Json& u : json.at("users").as_array()) {
+    users.push_back(User{
+        .position = {u.at("x").as_number(), u.at("y").as_number()},
+        .power_watts = u.at("power_w").as_number(),
+        .max_rate_mbps = u.at("max_rate_mbps").as_number(),
+    });
+  }
+
+  std::vector<DataItem> data;
+  for (const Json& d : json.at("data").as_array()) {
+    data.push_back(DataItem{.size_mb = d.at("size_mb").as_number()});
+  }
+
+  RequestMatrix requests(users.size(), data.size());
+  const auto& request_rows = json.at("requests").as_array();
+  IDDE_ASSERT(request_rows.size() == users.size(),
+              "request rows / user count mismatch");
+  for (std::size_t j = 0; j < request_rows.size(); ++j) {
+    for (const Json& item : request_rows[j].as_array()) {
+      requests.add_request(j, static_cast<std::size_t>(item.as_int()));
+    }
+  }
+
+  std::vector<net::Edge> edges;
+  for (const Json& e : json.at("edges").as_array()) {
+    edges.push_back(net::Edge{
+        static_cast<std::size_t>(e.at("from").as_int()),
+        static_cast<std::size_t>(e.at("to").as_int()),
+        e.at("seconds_per_mb").as_number(),
+    });
+  }
+  net::Graph graph(servers.size(), edges);
+  net::DeliveryLatencyModel latency(net::CostMatrix(graph),
+                                    json.at("cloud_speed_mbps").as_number());
+
+  const Json& radio_json = json.at("radio");
+  radio::RadioEnvironment env;
+  env.server_count = servers.size();
+  env.user_count = users.size();
+  env.channels_per_server = static_cast<std::size_t>(
+      radio_json.at("channels_per_server").as_int());
+  env.noise_watts = radio_json.at("noise_watts").as_number();
+  for (const Json& b : radio_json.at("bandwidth_mbps").as_array()) {
+    env.bandwidth.push_back(b.as_number());
+  }
+  for (const Json& g : radio_json.at("gain").as_array()) {
+    env.gain.push_back(g.as_number());
+  }
+  env.power.reserve(users.size());
+  for (const User& u : users) env.power.push_back(u.power_watts);
+
+  // Coverage is geometric; recompute rather than store.
+  env.covering_servers.resize(users.size());
+  for (std::size_t j = 0; j < users.size(); ++j) {
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      if (geo::distance(servers[i].position, users[j].position) <=
+          servers[i].coverage_radius_m) {
+        env.covering_servers[j].push_back(i);
+      }
+    }
+  }
+
+  return ProblemInstance(std::move(servers), std::move(users), std::move(data),
+                         std::move(requests), std::move(graph),
+                         std::move(latency), std::move(env));
+}
+
+std::string instance_to_string(const ProblemInstance& instance, int indent) {
+  return instance_to_json(instance).dump(indent);
+}
+
+ProblemInstance instance_from_string(const std::string& text) {
+  return instance_from_json(Json::parse(text));
+}
+
+}  // namespace idde::model

@@ -1,0 +1,26 @@
+// Full-instance (de)serialisation. Unlike sim/scenario.hpp (which stores
+// *generator parameters*), this stores the materialised instance — exact
+// positions, storage, link weights, gains — so a solved scenario can be
+// archived, diffed, or fed to external tooling and reloaded bit-exactly.
+#pragma once
+
+#include <string>
+
+#include "model/instance.hpp"
+#include "util/json.hpp"
+
+namespace idde::model {
+
+/// Serialises every component of the instance. Channel gains are stored
+/// explicitly (they are model inputs, not always derivable from geometry).
+[[nodiscard]] util::Json instance_to_json(const ProblemInstance& instance);
+
+/// Rebuilds an instance; throws util::JsonError on malformed input and
+/// aborts (IDDE_ASSERT) on shape inconsistencies.
+[[nodiscard]] ProblemInstance instance_from_json(const util::Json& json);
+
+[[nodiscard]] std::string instance_to_string(const ProblemInstance& instance,
+                                             int indent = -1);
+[[nodiscard]] ProblemInstance instance_from_string(const std::string& text);
+
+}  // namespace idde::model

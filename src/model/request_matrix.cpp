@@ -1,0 +1,39 @@
+#include "model/request_matrix.hpp"
+
+#include "util/assert.hpp"
+
+namespace idde::model {
+
+RequestMatrix::RequestMatrix(std::size_t user_count, std::size_t data_count)
+    : by_user_(user_count),
+      by_item_(data_count),
+      flags_(user_count * data_count, false) {}
+
+void RequestMatrix::add_request(std::size_t user, std::size_t item) {
+  IDDE_EXPECTS(user < by_user_.size());
+  IDDE_EXPECTS(item < by_item_.size());
+  const std::size_t flat = user * by_item_.size() + item;
+  if (flags_[flat]) return;
+  flags_[flat] = true;
+  by_user_[user].push_back(item);
+  by_item_[item].push_back(user);
+  ++total_;
+}
+
+bool RequestMatrix::requests(std::size_t user, std::size_t item) const {
+  IDDE_EXPECTS(user < by_user_.size());
+  IDDE_EXPECTS(item < by_item_.size());
+  return flags_[user * by_item_.size() + item];
+}
+
+std::span<const std::size_t> RequestMatrix::items_of(std::size_t user) const {
+  IDDE_EXPECTS(user < by_user_.size());
+  return by_user_[user];
+}
+
+std::span<const std::size_t> RequestMatrix::users_of(std::size_t item) const {
+  IDDE_EXPECTS(item < by_item_.size());
+  return by_item_[item];
+}
+
+}  // namespace idde::model

@@ -1,0 +1,41 @@
+// The request indicator zeta_{j,k}: which users request which data items.
+// Stored both user-major and item-major because Phase 2's greedy walks all
+// requests of one item while the metrics walk all requests of one user.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace idde::model {
+
+class RequestMatrix {
+ public:
+  RequestMatrix(std::size_t user_count, std::size_t data_count);
+
+  /// Marks zeta_{j,k} = 1; idempotent.
+  void add_request(std::size_t user, std::size_t item);
+
+  [[nodiscard]] bool requests(std::size_t user, std::size_t item) const;
+
+  [[nodiscard]] std::span<const std::size_t> items_of(std::size_t user) const;
+  [[nodiscard]] std::span<const std::size_t> users_of(std::size_t item) const;
+
+  /// sum_{j,k} zeta_{j,k}, the L_ave denominator (Eq. 9).
+  [[nodiscard]] std::size_t total_requests() const noexcept { return total_; }
+
+  [[nodiscard]] std::size_t user_count() const noexcept {
+    return by_user_.size();
+  }
+  [[nodiscard]] std::size_t data_count() const noexcept {
+    return by_item_.size();
+  }
+
+ private:
+  std::vector<std::vector<std::size_t>> by_user_;
+  std::vector<std::vector<std::size_t>> by_item_;
+  std::vector<bool> flags_;  // row-major M x K
+  std::size_t total_ = 0;
+};
+
+}  // namespace idde::model

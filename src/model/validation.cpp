@@ -1,0 +1,70 @@
+#include "model/validation.hpp"
+
+#include <algorithm>
+
+#include "geo/point.hpp"
+#include "util/format.hpp"
+
+namespace idde::model {
+
+std::vector<std::string> validate_instance(const ProblemInstance& instance) {
+  std::vector<std::string> problems;
+  const auto complain = [&problems](std::string message) {
+    problems.push_back(std::move(message));
+  };
+
+  if (!instance.graph().is_connected()) {
+    complain("edge network is not connected");
+  }
+
+  for (std::size_t i = 0; i < instance.server_count(); ++i) {
+    const EdgeServer& s = instance.server(i);
+    if (s.coverage_radius_m <= 0.0) {
+      complain(util::format("server {} has non-positive coverage radius", i));
+    }
+    if (s.storage_mb < 0.0) {
+      complain(util::format("server {} has negative storage", i));
+    }
+  }
+
+  for (std::size_t j = 0; j < instance.user_count(); ++j) {
+    // Coverage sets must agree with geometry.
+    for (const std::size_t i : instance.covering_servers(j)) {
+      const double d = geo::distance(instance.server(i).position,
+                                     instance.user(j).position);
+      if (d > instance.server(i).coverage_radius_m + 1e-9) {
+        complain(util::format(
+            "user {} listed as covered by server {} but is {} m away", j, i,
+            util::fixed(d, 1)));
+      }
+    }
+    if (instance.requests().items_of(j).empty() &&
+        instance.data_count() > 0) {
+      complain(util::format("user {} requests no data", j));
+    }
+  }
+
+  for (std::size_t k = 0; k < instance.data_count(); ++k) {
+    if (instance.data(k).size_mb <= 0.0) {
+      complain(util::format("data {} has non-positive size", k));
+    }
+  }
+  return problems;
+}
+
+CoverageStats coverage_stats(const ProblemInstance& instance) {
+  CoverageStats stats;
+  double total = 0.0;
+  for (std::size_t j = 0; j < instance.user_count(); ++j) {
+    const std::size_t c = instance.covering_servers(j).size();
+    total += static_cast<double>(c);
+    stats.max_coverage = std::max(stats.max_coverage, c);
+    if (c == 0) ++stats.uncovered_users;
+  }
+  if (instance.user_count() > 0) {
+    stats.mean_coverage = total / static_cast<double>(instance.user_count());
+  }
+  return stats;
+}
+
+}  // namespace idde::model

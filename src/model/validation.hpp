@@ -1,0 +1,26 @@
+// Instance-level sanity checks, run by the harness on every generated
+// instance in debug sweeps and by tests on random instances.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/instance.hpp"
+
+namespace idde::model {
+
+/// Returns a list of human-readable violations (empty = valid).
+[[nodiscard]] std::vector<std::string> validate_instance(
+    const ProblemInstance& instance);
+
+/// Summary statistics used by tests and DESIGN.md's substitution argument
+/// (coverage multiplicity should look like the EUA extraction).
+struct CoverageStats {
+  std::size_t uncovered_users = 0;
+  double mean_coverage = 0.0;   ///< average |V_j|
+  std::size_t max_coverage = 0;
+};
+
+[[nodiscard]] CoverageStats coverage_stats(const ProblemInstance& instance);
+
+}  // namespace idde::model

@@ -1,0 +1,64 @@
+#include "net/graph_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace idde::net {
+
+std::vector<Edge> generate_topology(std::size_t node_count,
+                                    const TopologyParams& params,
+                                    util::Rng& rng) {
+  IDDE_EXPECTS(node_count > 0);
+  IDDE_EXPECTS(params.density >= 0.0);
+  IDDE_EXPECTS(params.min_speed_mbps > 0.0);
+  IDDE_EXPECTS(params.max_speed_mbps >= params.min_speed_mbps);
+
+  const auto draw_weight = [&] {
+    return 1.0 / rng.uniform(params.min_speed_mbps, params.max_speed_mbps);
+  };
+
+  std::vector<Edge> edges;
+  if (node_count == 1) return edges;
+
+  // Random spanning tree: attach each node (in shuffled order) to a random
+  // already-attached node. This yields a connected skeleton with random
+  // shape (random recursive tree).
+  std::vector<std::size_t> order(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) order[i] = i;
+  rng.shuffle(order);
+  std::set<std::pair<std::size_t, std::size_t>> used;
+  const auto key = [](std::size_t a, std::size_t b) {
+    return std::pair{std::min(a, b), std::max(a, b)};
+  };
+  for (std::size_t i = 1; i < node_count; ++i) {
+    const std::size_t parent = order[rng.index(i)];
+    edges.push_back(Edge{order[i], parent, draw_weight()});
+    used.insert(key(order[i], parent));
+  }
+
+  const auto target = std::max<std::size_t>(
+      node_count - 1,
+      static_cast<std::size_t>(
+          std::llround(params.density * static_cast<double>(node_count))));
+  const std::size_t max_links = node_count * (node_count - 1) / 2;
+  const std::size_t want = std::min(target, max_links);
+  while (edges.size() < want) {
+    const std::size_t a = rng.index(node_count);
+    const std::size_t b = rng.index(node_count);
+    if (a == b) continue;
+    if (!used.insert(key(a, b)).second) continue;
+    edges.push_back(Edge{a, b, draw_weight()});
+  }
+  return edges;
+}
+
+Graph generate_topology_graph(std::size_t node_count,
+                              const TopologyParams& params, util::Rng& rng) {
+  return Graph(node_count, generate_topology(node_count, params, rng));
+}
+
+}  // namespace idde::net

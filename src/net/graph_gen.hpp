@@ -1,0 +1,31 @@
+// Random edge-storage-system topologies, following the paper's recipe:
+// "given density and N, density*N links are generated randomly to connect
+// edge servers". We additionally guarantee connectivity with a uniform random
+// spanning tree (the paper's instances are connected by construction of the
+// EUA backbone), so the link count is max(N-1, round(density*N)).
+#pragma once
+
+#include <vector>
+
+#include "net/graph.hpp"
+#include "util/random.hpp"
+
+namespace idde::net {
+
+struct TopologyParams {
+  double density = 1.0;          ///< links = round(density * N)
+  double min_speed_mbps = 2000;  ///< per-link transfer speed, MB/s
+  double max_speed_mbps = 6000;
+};
+
+/// Returns the undirected edge list (weights = 1/speed seconds-per-MB).
+[[nodiscard]] std::vector<Edge> generate_topology(std::size_t node_count,
+                                                  const TopologyParams& params,
+                                                  util::Rng& rng);
+
+/// Convenience wrapper building the Graph directly.
+[[nodiscard]] Graph generate_topology_graph(std::size_t node_count,
+                                            const TopologyParams& params,
+                                            util::Rng& rng);
+
+}  // namespace idde::net

@@ -1,0 +1,98 @@
+#include "net/shortest_path.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace idde::net {
+
+std::vector<double> dijkstra(const Graph& graph, std::size_t source) {
+  IDDE_EXPECTS(source < graph.node_count());
+  std::vector<double> dist(graph.node_count(), kUnreachable);
+  dist[source] = 0.0;
+  using Item = std::pair<double, std::size_t>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  queue.emplace(0.0, source);
+  while (!queue.empty()) {
+    const auto [d, node] = queue.top();
+    queue.pop();
+    if (d > dist[node]) continue;  // stale entry
+    for (const Neighbor& nb : graph.neighbors(node)) {
+      const double candidate = d + nb.weight;
+      if (candidate < dist[nb.node]) {
+        dist[nb.node] = candidate;
+        queue.emplace(candidate, nb.node);
+      }
+    }
+  }
+  return dist;
+}
+
+CostMatrix::CostMatrix(const Graph& graph) : n_(graph.node_count()) {
+  costs_.resize(n_ * n_, kUnreachable);
+  for (std::size_t source = 0; source < n_; ++source) {
+    const auto dist = dijkstra(graph, source);
+    std::copy(dist.begin(), dist.end(), costs_.begin() + source * n_);
+  }
+}
+
+Route shortest_route(const Graph& graph, std::size_t from, std::size_t to) {
+  IDDE_EXPECTS(from < graph.node_count());
+  IDDE_EXPECTS(to < graph.node_count());
+  // Dijkstra with parent tracking.
+  std::vector<double> dist(graph.node_count(), kUnreachable);
+  std::vector<std::size_t> parent(graph.node_count(),
+                                  static_cast<std::size_t>(-1));
+  dist[from] = 0.0;
+  using Item = std::pair<double, std::size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  queue.emplace(0.0, from);
+  while (!queue.empty()) {
+    const auto [d, node] = queue.top();
+    queue.pop();
+    if (d > dist[node]) continue;
+    if (node == to) break;
+    for (const Neighbor& nb : graph.neighbors(node)) {
+      const double candidate = d + nb.weight;
+      if (candidate < dist[nb.node]) {
+        dist[nb.node] = candidate;
+        parent[nb.node] = node;
+        queue.emplace(candidate, nb.node);
+      }
+    }
+  }
+  Route route;
+  if (dist[to] == kUnreachable) return route;
+  route.cost = dist[to];
+  for (std::size_t node = to;; node = parent[node]) {
+    route.nodes.push_back(node);
+    if (node == from) break;
+  }
+  std::reverse(route.nodes.begin(), route.nodes.end());
+  return route;
+}
+
+std::vector<double> floyd_warshall(const Graph& graph) {
+  const std::size_t n = graph.node_count();
+  std::vector<double> dist(n * n, kUnreachable);
+  for (std::size_t i = 0; i < n; ++i) {
+    dist[i * n + i] = 0.0;
+    for (const Neighbor& nb : graph.neighbors(i)) {
+      dist[i * n + nb.node] = std::min(dist[i * n + nb.node], nb.weight);
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dik = dist[i * n + k];
+      if (dik == kUnreachable) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double through = dik + dist[k * n + j];
+        if (through < dist[i * n + j]) dist[i * n + j] = through;
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace idde::net

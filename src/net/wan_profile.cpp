@@ -1,0 +1,51 @@
+#include "net/wan_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace idde::net {
+
+std::vector<WanTarget> figure1_targets() {
+  // Base RTTs approximate published AWS inter-region figures from an
+  // Australian vantage point; the edge target is a one-hop metro link.
+  return {
+      WanTarget{"Edge", 2.0, 1.0, 0.6},
+      WanTarget{"Singapore", 92.0, 18.0, 8.0},
+      WanTarget{"London", 240.0, 30.0, 14.0},
+      WanTarget{"Frankfurt", 228.0, 28.0, 13.0},
+  };
+}
+
+double sample_rtt_ms(const WanTarget& target, double hour_of_week,
+                     util::Rng& rng) {
+  IDDE_EXPECTS(hour_of_week >= 0.0 && hour_of_week < 168.0);
+  const double hour_of_day = std::fmod(hour_of_week, 24.0);
+  // Congestion peaks around 20:00 local; a raised cosine keeps it smooth.
+  const double phase =
+      std::cos((hour_of_day - 20.0) / 24.0 * 2.0 * std::numbers::pi);
+  const double diurnal = target.diurnal_swing_ms * 0.5 * (1.0 + phase);
+  // Positive-skew jitter: |normal| approximates the long tail of queueing
+  // delay without ever dipping below the propagation floor.
+  const double jitter = std::abs(rng.normal(0.0, target.jitter_ms));
+  return target.base_rtt_ms + diurnal + jitter;
+}
+
+std::vector<WeeklyAverage> run_figure1_protocol(std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<WeeklyAverage> results;
+  for (const WanTarget& target : figure1_targets()) {
+    util::RunningStats stats;
+    for (int hour = 0; hour < 168; ++hour) {
+      stats.add(sample_rtt_ms(target, static_cast<double>(hour), rng));
+    }
+    results.push_back(WeeklyAverage{target.name, stats.mean(), stats.min(),
+                                    stats.max()});
+  }
+  return results;
+}
+
+}  // namespace idde::net

@@ -1,0 +1,42 @@
+// WAN round-trip profiles backing the paper's Fig. 1 motivation experiment:
+// "End-to-end network latency test ... collected hourly and averaged over a
+// week in March 2022" against an edge server and AWS Singapore / London /
+// Frankfurt. We replay a queueing-free diurnal model: base propagation RTT
+// per target, a daily congestion wave, and lognormal-ish jitter. Only the
+// order-of-magnitude edge << cloud gap matters for the figure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace idde::net {
+
+struct WanTarget {
+  std::string name;
+  double base_rtt_ms;      ///< propagation + baseline processing
+  double diurnal_swing_ms; ///< peak-hour extra delay
+  double jitter_ms;        ///< per-sample noise scale
+};
+
+/// The four targets of Fig. 1 with RTTs representative of an Australian
+/// vantage point (the authors' institutions).
+[[nodiscard]] std::vector<WanTarget> figure1_targets();
+
+/// One simulated RTT sample at `hour_of_week` in [0, 168).
+[[nodiscard]] double sample_rtt_ms(const WanTarget& target,
+                                   double hour_of_week, util::Rng& rng);
+
+struct WeeklyAverage {
+  std::string name;
+  double mean_rtt_ms;
+  double min_rtt_ms;
+  double max_rtt_ms;
+};
+
+/// Replays the paper's protocol: hourly samples for one week, averaged.
+[[nodiscard]] std::vector<WeeklyAverage> run_figure1_protocol(
+    std::uint64_t seed);
+
+}  // namespace idde::net

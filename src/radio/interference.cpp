@@ -1,0 +1,173 @@
+#include "radio/interference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace idde::radio {
+
+void RadioEnvironment::check() const {
+  IDDE_ASSERT(gain.size() == server_count * user_count,
+              "gain matrix shape mismatch");
+  IDDE_ASSERT(power.size() == user_count, "power vector shape mismatch");
+  IDDE_ASSERT(bandwidth.size() == server_count * channels_per_server,
+              "bandwidth shape mismatch");
+  IDDE_ASSERT(covering_servers.size() == user_count,
+              "coverage shape mismatch");
+  IDDE_ASSERT(channels_per_server > 0, "servers must expose channels");
+  IDDE_ASSERT(noise_watts >= 0.0, "negative noise power");
+  for (const double g : gain) IDDE_ASSERT(g >= 0.0, "negative gain");
+  for (const double p : power) IDDE_ASSERT(p > 0.0, "non-positive power");
+  for (const double b : bandwidth) IDDE_ASSERT(b > 0.0, "non-positive bandwidth");
+  for (const auto& servers : covering_servers) {
+    IDDE_ASSERT(std::is_sorted(servers.begin(), servers.end()),
+                "coverage sets must be sorted");
+    for (const std::size_t i : servers) {
+      IDDE_ASSERT(i < server_count, "coverage server out of range");
+    }
+  }
+}
+
+InterferenceField::InterferenceField(const RadioEnvironment& env)
+    : env_(&env),
+      allocation_(env.user_count, kUnallocated),
+      power_sum_(env.server_count * env.channels_per_server, 0.0),
+      received_(env.server_count * env.channels_per_server * env.server_count,
+                0.0),
+      users_on_(env.server_count * env.channels_per_server, 0) {}
+
+void InterferenceField::add_user(std::size_t user, ChannelSlot slot) {
+  IDDE_EXPECTS(user < env_->user_count);
+  IDDE_EXPECTS(slot.allocated());
+  IDDE_EXPECTS(slot.server < env_->server_count);
+  IDDE_EXPECTS(slot.channel < env_->channels_per_server);
+  IDDE_ASSERT(!allocation_[user].allocated(), "user already allocated");
+
+  allocation_[user] = slot;
+  const double p = env_->power[user];
+  power_sum_[chan_index(slot)] += p;
+  ++users_on_[chan_index(slot)];
+  double* recv_row = received_.data() + chan_index(slot) * env_->server_count;
+  for (std::size_t i = 0; i < env_->server_count; ++i) {
+    recv_row[i] += env_->gain_at(i, user) * p;
+  }
+}
+
+void InterferenceField::remove_user(std::size_t user) {
+  IDDE_EXPECTS(user < env_->user_count);
+  const ChannelSlot slot = allocation_[user];
+  if (!slot.allocated()) return;
+  const double p = env_->power[user];
+  power_sum_[chan_index(slot)] -= p;
+  double* recv_row = received_.data() + chan_index(slot) * env_->server_count;
+  for (std::size_t i = 0; i < env_->server_count; ++i) {
+    recv_row[i] -= env_->gain_at(i, user) * p;
+  }
+  IDDE_ASSERT(users_on_[chan_index(slot)] > 0, "channel count underflow");
+  if (--users_on_[chan_index(slot)] == 0) {
+    // Zero the emptied channel exactly (see header note on residues).
+    power_sum_[chan_index(slot)] = 0.0;
+    for (std::size_t i = 0; i < env_->server_count; ++i) recv_row[i] = 0.0;
+  }
+  allocation_[user] = kUnallocated;
+}
+
+void InterferenceField::move_user(std::size_t user, ChannelSlot slot) {
+  remove_user(user);
+  if (slot.allocated()) add_user(user, slot);
+}
+
+void InterferenceField::clear() {
+  std::fill(power_sum_.begin(), power_sum_.end(), 0.0);
+  std::fill(received_.begin(), received_.end(), 0.0);
+  std::fill(allocation_.begin(), allocation_.end(), kUnallocated);
+  std::fill(users_on_.begin(), users_on_.end(), 0);
+}
+
+double InterferenceField::in_cell_power_excluding(std::size_t user,
+                                                  ChannelSlot slot) const {
+  if (allocation_[user] == slot) {
+    // Alone on the channel: exactly zero. Subtracting the user's own power
+    // from the running sum would leave an O(eps * watts) residue, which is
+    // *larger* than the -174 dBm noise floor and would corrupt the SINR.
+    if (users_on_[chan_index(slot)] == 1) return 0.0;
+    return std::max(power_sum_[chan_index(slot)] - env_->power[user], 0.0);
+  }
+  return power_sum_[chan_index(slot)];
+}
+
+double InterferenceField::cross_cell_interference(std::size_t user,
+                                                  ChannelSlot slot) const {
+  const ChannelSlot current = allocation_[user];
+  double total = 0.0;
+  for (const std::size_t o : env_->covering_servers[user]) {
+    if (o == slot.server) continue;
+    const std::size_t ox =
+        o * env_->channels_per_server + slot.channel;
+    // Exclude the user's own current transmission if it lands in this sum;
+    // when the user is alone there, the row contributes exactly zero (see
+    // in_cell_power_excluding for the residue rationale).
+    if (current.allocated() && current.server == o &&
+        current.channel == slot.channel) {
+      if (users_on_[ox] == 1) continue;
+      total += received_[ox * env_->server_count + slot.server] -
+               env_->gain_at(slot.server, user) * env_->power[user];
+    } else {
+      total += received_[ox * env_->server_count + slot.server];
+    }
+  }
+  return std::max(total, 0.0);
+}
+
+double InterferenceField::sinr(std::size_t user, ChannelSlot slot) const {
+  IDDE_EXPECTS(user < env_->user_count);
+  IDDE_EXPECTS(slot.allocated());
+  const double g = env_->gain_at(slot.server, user);
+  const double signal = g * env_->power[user];
+  const double in_cell = g * in_cell_power_excluding(user, slot);
+  const double cross = cross_cell_interference(user, slot);
+  return signal / (in_cell + cross + env_->noise_watts);
+}
+
+double InterferenceField::rate(std::size_t user, ChannelSlot slot) const {
+  const double r = sinr(user, slot);
+  return env_->bandwidth_at(slot.server, slot.channel) * std::log2(1.0 + r);
+}
+
+double InterferenceField::benefit(std::size_t user, ChannelSlot slot) const {
+  IDDE_EXPECTS(user < env_->user_count);
+  IDDE_EXPECTS(slot.allocated());
+  const double g = env_->gain_at(slot.server, user);
+  const double p = env_->power[user];
+  const double signal = g * p;
+  // Eq. (12): the channel power sum includes u_j itself and there is no
+  // noise term, so the benefit is bounded and comparisons never divide by
+  // zero (the user's own power keeps the denominator positive).
+  const double in_cell = g * (in_cell_power_excluding(user, slot) + p);
+  const double cross = cross_cell_interference(user, slot);
+  return signal / (in_cell + cross);
+}
+
+double sinr_reference(const RadioEnvironment& env,
+                      std::span<const ChannelSlot> allocation,
+                      std::size_t user, ChannelSlot slot) {
+  IDDE_EXPECTS(allocation.size() == env.user_count);
+  IDDE_EXPECTS(slot.allocated());
+  const double g = env.gain_at(slot.server, user);
+  double in_cell = 0.0;
+  double cross = 0.0;
+  const auto& covering = env.covering_servers[user];
+  for (std::size_t t = 0; t < env.user_count; ++t) {
+    if (t == user) continue;
+    const ChannelSlot ts = allocation[t];
+    if (!ts.allocated() || ts.channel != slot.channel) continue;
+    if (ts.server == slot.server) {
+      in_cell += env.power[t];
+    } else if (std::binary_search(covering.begin(), covering.end(),
+                                  ts.server)) {
+      cross += env.gain_at(slot.server, t) * env.power[t];
+    }
+  }
+  return g * env.power[user] / (g * in_cell + cross + env.noise_watts);
+}
+
+}  // namespace idde::radio

@@ -1,0 +1,138 @@
+// Incremental SINR/interference bookkeeping for the IDDE-U game.
+//
+// Implements Section 2.2 exactly:
+//   SINR  (Eq. 2): r_{i,x,j} = g_{i,j} p_j /
+//                   (g_{i,j} * sum_{t in U_{i,x} \ j} p_t + F_{i,x,j} + w)
+//   cross-cell interference:
+//         F_{i,x,j} = sum_{o in V_j \ i} sum_{t in U_{o,x}} g_{i,t} p_t
+//   rate  (Eq. 3): R_{i,x,j} = B_{i,x} log2(1 + r_{i,x,j})
+//   benefit (Eq. 12): like the SINR but with the full channel power sum
+//         (own power included) and no noise term.
+//
+// The game evaluates a user's benefit at every candidate channel every
+// round, so evaluation must be cheap. The field maintains:
+//   power_sum[i][x]          = sum of p_t over users allocated to c_{i,x}
+//   received[o][x][i]        = sum_{t in U_{o,x}} g_{i,t} p_t
+// so evaluating one candidate costs O(|V_j|) and applying a move costs
+// O(N). A from-scratch reference implementation is provided for tests and
+// the ablation bench.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace idde::radio {
+
+/// Static radio-layer description of an instance; all vectors indexed by
+/// server i in [0,N) and user j in [0,M).
+struct RadioEnvironment {
+  std::size_t server_count = 0;
+  std::size_t user_count = 0;
+  std::size_t channels_per_server = 3;
+  /// Row-major N x M channel gains g_{i,j} (channel-independent, Sec. 2.2).
+  std::vector<double> gain;
+  /// Per-user transmit power p_j, watts.
+  std::vector<double> power;
+  /// Per-server per-channel bandwidth B_{i,x}, row-major N x X, MB/s.
+  std::vector<double> bandwidth;
+  /// Coverage sets V_j as server indices, ascending.
+  std::vector<std::vector<std::size_t>> covering_servers;
+  /// Noise floor w, watts.
+  double noise_watts = 0.0;
+
+  [[nodiscard]] double gain_at(std::size_t server, std::size_t user) const {
+    return gain[server * user_count + user];
+  }
+  [[nodiscard]] double bandwidth_at(std::size_t server,
+                                    std::size_t channel) const {
+    return bandwidth[server * channels_per_server + channel];
+  }
+  /// Validates shapes and value ranges; aborts on inconsistency.
+  void check() const;
+};
+
+/// A user's channel assignment. `kUnallocated` encodes alpha_j = (0, 0).
+struct ChannelSlot {
+  std::size_t server = kNone;
+  std::size_t channel = 0;
+
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  [[nodiscard]] bool allocated() const noexcept { return server != kNone; }
+  friend bool operator==(const ChannelSlot&, const ChannelSlot&) = default;
+};
+
+inline constexpr ChannelSlot kUnallocated{};
+
+class InterferenceField {
+ public:
+  /// The environment must outlive the field.
+  explicit InterferenceField(const RadioEnvironment& env);
+
+  /// Places user j on (server, channel); j must currently be unallocated.
+  void add_user(std::size_t user, ChannelSlot slot);
+  /// Removes user j from its current channel; no-op when unallocated.
+  void remove_user(std::size_t user);
+  /// remove + add in one call.
+  void move_user(std::size_t user, ChannelSlot slot);
+  /// Removes every user.
+  void clear();
+
+  [[nodiscard]] ChannelSlot slot_of(std::size_t user) const {
+    return allocation_[user];
+  }
+
+  /// SINR of user j as if allocated at `slot` (Eq. 2). The user's own
+  /// current contribution is excluded wherever it is, so this evaluates
+  /// hypothetical moves without mutating state.
+  [[nodiscard]] double sinr(std::size_t user, ChannelSlot slot) const;
+
+  /// Shannon rate (Eq. 3) at the hypothetical slot; MB/s, uncapped.
+  [[nodiscard]] double rate(std::size_t user, ChannelSlot slot) const;
+
+  /// Game benefit (Eq. 12) at the hypothetical slot.
+  [[nodiscard]] double benefit(std::size_t user, ChannelSlot slot) const;
+
+  /// Total received power on (i,x) (sum of p_t of users allocated there).
+  [[nodiscard]] double channel_power(std::size_t server,
+                                     std::size_t channel) const {
+    return power_sum_[server * env_->channels_per_server + channel];
+  }
+
+  [[nodiscard]] const RadioEnvironment& env() const noexcept { return *env_; }
+
+ private:
+  /// F_{i,x,j} with user j's own contribution excluded.
+  [[nodiscard]] double cross_cell_interference(std::size_t user,
+                                               ChannelSlot slot) const;
+  /// In-cell interference power at `slot` excluding user j: the
+  /// g_{i,j} * sum_{t in U_{i,x} \ j} p_t term of Eq. 2.
+  [[nodiscard]] double in_cell_power_excluding(std::size_t user,
+                                               ChannelSlot slot) const;
+
+  [[nodiscard]] std::size_t chan_index(ChannelSlot slot) const {
+    return slot.server * env_->channels_per_server + slot.channel;
+  }
+
+  const RadioEnvironment* env_;
+  std::vector<ChannelSlot> allocation_;
+  /// power_sum_[i * X + x] = sum of p_t over users on c_{i,x}.
+  std::vector<double> power_sum_;
+  /// received_[(o * X + x) * N + i] = sum_{t in U_{o,x}} g_{i,t} p_t.
+  std::vector<double> received_;
+  /// Users currently on each channel. When a channel empties, its power
+  /// and received-power rows are zeroed exactly: subtraction residues
+  /// (~1e-21 W) are otherwise the same order as the -174 dBm noise floor
+  /// and would corrupt SINRs on quiet channels.
+  std::vector<std::size_t> users_on_;
+};
+
+/// From-scratch SINR evaluation used as a test oracle and ablation baseline:
+/// O(M + sum |V_j|) per call instead of O(|V_j|).
+[[nodiscard]] double sinr_reference(const RadioEnvironment& env,
+                                    std::span<const ChannelSlot> allocation,
+                                    std::size_t user, ChannelSlot slot);
+
+}  // namespace idde::radio

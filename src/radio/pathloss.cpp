@@ -1,0 +1,14 @@
+#include "radio/pathloss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace idde::radio {
+
+double PathLossModel::gain(double distance_m) const {
+  IDDE_EXPECTS(distance_m >= 0.0);
+  const double d = std::max(distance_m, min_distance_m_);
+  return eta_ * std::pow(d, -loss_exponent_);
+}
+
+}  // namespace idde::radio

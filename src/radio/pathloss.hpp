@@ -1,0 +1,39 @@
+// Log-distance path-loss channel gain, Section 2.2:
+//     g_{i,x,j} = eta * H_{i,j}^{-loss}
+// with eta the frequency-dependent factor and loss the path-loss exponent
+// (the evaluation uses eta = 1, loss = 3). The gain is clamped below a
+// minimum distance so co-located user/server pairs cannot produce an
+// unbounded gain.
+#pragma once
+
+#include "util/assert.hpp"
+
+namespace idde::radio {
+
+class PathLossModel {
+ public:
+  PathLossModel(double eta, double loss_exponent, double min_distance_m = 1.0)
+      : eta_(eta), loss_exponent_(loss_exponent),
+        min_distance_m_(min_distance_m) {
+    IDDE_EXPECTS(eta > 0.0);
+    IDDE_EXPECTS(loss_exponent > 0.0);
+    IDDE_EXPECTS(min_distance_m > 0.0);
+  }
+
+  /// The paper's evaluation setting (eta = 1, loss = 3).
+  static PathLossModel paper_default() { return {1.0, 3.0}; }
+
+  [[nodiscard]] double gain(double distance_m) const;
+
+  [[nodiscard]] double eta() const noexcept { return eta_; }
+  [[nodiscard]] double loss_exponent() const noexcept {
+    return loss_exponent_;
+  }
+
+ private:
+  double eta_;
+  double loss_exponent_;
+  double min_distance_m_;
+};
+
+}  // namespace idde::radio

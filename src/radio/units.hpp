@@ -1,0 +1,25 @@
+// Power unit conversions. The paper quotes noise as -174 dBm; all internal
+// arithmetic is in watts.
+#pragma once
+
+#include <cmath>
+
+namespace idde::radio {
+
+[[nodiscard]] inline double dbm_to_watts(double dbm) noexcept {
+  return std::pow(10.0, (dbm - 30.0) / 10.0);
+}
+
+[[nodiscard]] inline double watts_to_dbm(double watts) noexcept {
+  return 10.0 * std::log10(watts) + 30.0;
+}
+
+/// Additive white Gaussian noise floor used throughout the evaluation
+/// (-174 dBm, per Section 4.2).
+inline constexpr double kNoiseDbm = -174.0;
+
+[[nodiscard]] inline double default_noise_watts() noexcept {
+  return dbm_to_watts(kNoiseDbm);
+}
+
+}  // namespace idde::radio

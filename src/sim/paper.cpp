@@ -1,0 +1,82 @@
+#include "sim/paper.hpp"
+
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace idde::sim {
+
+model::InstanceParams paper_default_params() {
+  model::InstanceParams params;  // defaults already follow Section 4.2
+  params.server_count = 30;
+  params.user_count = 200;
+  params.data_count = 5;
+  params.density = 1.0;
+  return params;
+}
+
+std::vector<SweepPoint> paper_set1() {
+  std::vector<SweepPoint> points;
+  for (std::size_t n = 20; n <= 50; n += 5) {
+    model::InstanceParams params = paper_default_params();
+    params.server_count = n;
+    points.push_back(SweepPoint{util::format("N={}", n), params});
+  }
+  return points;
+}
+
+std::vector<SweepPoint> paper_set2() {
+  std::vector<SweepPoint> points;
+  for (std::size_t m = 50; m <= 350; m += 50) {
+    model::InstanceParams params = paper_default_params();
+    params.user_count = m;
+    points.push_back(SweepPoint{util::format("M={}", m), params});
+  }
+  return points;
+}
+
+std::vector<SweepPoint> paper_set3() {
+  std::vector<SweepPoint> points;
+  for (std::size_t k = 2; k <= 8; ++k) {
+    model::InstanceParams params = paper_default_params();
+    params.data_count = k;
+    points.push_back(SweepPoint{util::format("K={}", k), params});
+  }
+  return points;
+}
+
+std::vector<SweepPoint> paper_set4() {
+  std::vector<SweepPoint> points;
+  for (int step = 0; step <= 5; ++step) {
+    const double density = 1.0 + 0.4 * step;
+    model::InstanceParams params = paper_default_params();
+    params.density = density;
+    points.push_back(
+        SweepPoint{util::format("density={}", util::fixed(density, 1)),
+                   params});
+  }
+  return points;
+}
+
+std::vector<PaperSet> paper_sets() {
+  return {
+      PaperSet{"Set #1", "N", "Fig. 3", paper_set1()},
+      PaperSet{"Set #2", "M", "Fig. 4", paper_set2()},
+      PaperSet{"Set #3", "K", "Fig. 5", paper_set3()},
+      PaperSet{"Set #4", "density", "Fig. 6", paper_set4()},
+  };
+}
+
+std::string table2_text() {
+  util::TextTable table({"", "N", "M", "K", "density"});
+  table.start_row().add("Set #1").add("20,...,50").add("200").add("5").add(
+      "1.0");
+  table.start_row().add("Set #2").add("30").add("50,...,350").add("5").add(
+      "1.0");
+  table.start_row().add("Set #3").add("30").add("200").add("2,...,8").add(
+      "1.0");
+  table.start_row().add("Set #4").add("30").add("200").add("5").add(
+      "1.0,...,3.0");
+  return "Table 2: Parameter Settings\n" + table.to_string();
+}
+
+}  // namespace idde::sim

@@ -1,0 +1,39 @@
+// Canonical definitions of the paper's experiment sets (Table 2) and the
+// Section 4.2 default parameters. Every bench binary pulls its sweep from
+// here so the figures stay consistent with one source of truth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hpp"
+
+namespace idde::sim {
+
+/// Section 4.2 defaults: N=30, M=200, K=5, density=1.0 on the 125-server /
+/// 816-user EUA-like layout.
+[[nodiscard]] model::InstanceParams paper_default_params();
+
+/// Set #1: N = 20..50 step 5 (M=200, K=5, density=1.0). Figures 3(a,b).
+[[nodiscard]] std::vector<SweepPoint> paper_set1();
+/// Set #2: M = 50..350 step 50 (N=30, K=5, density=1.0). Figures 4(a,b).
+[[nodiscard]] std::vector<SweepPoint> paper_set2();
+/// Set #3: K = 2..8 step 1 (N=30, M=200, density=1.0). Figures 5(a,b).
+[[nodiscard]] std::vector<SweepPoint> paper_set3();
+/// Set #4: density = 1.0..3.0 step 0.4 (N=30, M=200, K=5). Figures 6(a,b).
+[[nodiscard]] std::vector<SweepPoint> paper_set4();
+
+struct PaperSet {
+  std::string name;      ///< "Set #1"
+  std::string x_label;   ///< "N"
+  std::string figure;    ///< "Fig. 3"
+  std::vector<SweepPoint> points;
+};
+
+/// All four sets (for Fig. 7's computation-time panel).
+[[nodiscard]] std::vector<PaperSet> paper_sets();
+
+/// Renders Table 2 (the parameter grid) for bench preambles.
+[[nodiscard]] std::string table2_text();
+
+}  // namespace idde::sim

@@ -1,0 +1,107 @@
+#include "sim/report.hpp"
+
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/stats.hpp"
+
+namespace idde::sim {
+
+std::string metric_name(Metric metric) {
+  switch (metric) {
+    case Metric::kRate: return "R_avg (MB/s)";
+    case Metric::kLatency: return "L_avg (ms)";
+    case Metric::kSolveTime: return "time (ms)";
+  }
+  return "?";
+}
+
+namespace {
+
+double cell_value(const CellResult& cell, Metric metric) {
+  switch (metric) {
+    case Metric::kRate: return cell.rate_mbps.mean;
+    case Metric::kLatency: return cell.latency_ms.mean;
+    case Metric::kSolveTime: return cell.solve_ms.mean;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+util::TextTable series_table(const std::vector<PointResult>& results,
+                             Metric metric, std::string x_label) {
+  IDDE_EXPECTS(!results.empty());
+  std::vector<std::string> header{std::move(x_label)};
+  for (const CellResult& cell : results.front().cells) {
+    header.push_back(cell.approach);
+  }
+  util::TextTable table(std::move(header));
+  for (const PointResult& point : results) {
+    auto row = table.start_row();
+    row.add(point.label);
+    for (const CellResult& cell : point.cells) {
+      row.add(cell_value(cell, metric), metric == Metric::kSolveTime ? 3 : 2);
+    }
+  }
+  return table;
+}
+
+void write_csv(std::ostream& out, const std::vector<PointResult>& results,
+               std::string_view x_label) {
+  util::CsvWriter csv(out, {std::string(x_label), "approach", "metric", "mean",
+                            "ci95", "n"});
+  const auto emit = [&](const PointResult& point, const CellResult& cell,
+                        std::string_view metric, const util::Estimate& est) {
+    csv.start_row()
+        .add(point.label)
+        .add(cell.approach)
+        .add(metric)
+        .add(est.mean)
+        .add(est.half_width)
+        .add(est.n);
+  };
+  for (const PointResult& point : results) {
+    for (const CellResult& cell : point.cells) {
+      emit(point, cell, "rate_mbps", cell.rate_mbps);
+      emit(point, cell, "latency_ms", cell.latency_ms);
+      emit(point, cell, "solve_ms", cell.solve_ms);
+    }
+  }
+}
+
+std::vector<Advantage> advantages_of(const std::vector<PointResult>& results,
+                                     const std::string& ours) {
+  std::vector<Advantage> advantages;
+  if (results.empty()) return advantages;
+  for (std::size_t a = 0; a < results.front().cells.size(); ++a) {
+    const std::string& other = results.front().cells[a].approach;
+    if (other == ours) continue;
+    double rate_gain = 0.0;
+    double latency_red = 0.0;
+    std::size_t n = 0;
+    for (const PointResult& point : results) {
+      const CellResult* ours_cell = nullptr;
+      const CellResult* other_cell = nullptr;
+      for (const CellResult& cell : point.cells) {
+        if (cell.approach == ours) ours_cell = &cell;
+        if (cell.approach == other) other_cell = &cell;
+      }
+      if (ours_cell == nullptr || other_cell == nullptr) continue;
+      rate_gain += util::relative_gain(ours_cell->rate_mbps.mean,
+                                       other_cell->rate_mbps.mean);
+      latency_red += util::relative_reduction(ours_cell->latency_ms.mean,
+                                              other_cell->latency_ms.mean);
+      ++n;
+    }
+    if (n == 0) continue;
+    advantages.push_back(Advantage{
+        .versus = other,
+        .rate_gain_pct = 100.0 * rate_gain / static_cast<double>(n),
+        .latency_reduction_pct = 100.0 * latency_red / static_cast<double>(n),
+    });
+  }
+  return advantages;
+}
+
+}  // namespace idde::sim

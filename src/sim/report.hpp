@@ -1,0 +1,40 @@
+// Renders sweep results the way the paper's figures present them: one
+// series table per metric (rows = sweep points, columns = approaches),
+// plus CSV output for external plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hpp"
+#include "util/table.hpp"
+
+namespace idde::sim {
+
+enum class Metric { kRate, kLatency, kSolveTime };
+
+[[nodiscard]] std::string metric_name(Metric metric);
+
+/// Table of mean values (rows = points, columns = approaches).
+[[nodiscard]] util::TextTable series_table(
+    const std::vector<PointResult>& results, Metric metric,
+    std::string x_label);
+
+/// Long-format CSV: point,approach,metric,mean,ci95,n.
+void write_csv(std::ostream& out, const std::vector<PointResult>& results,
+               std::string_view x_label);
+
+/// Per-approach advantage summary the paper quotes ("IDDE-G outperforms X
+/// by Y%"): averages the relative gain of `ours` over each other approach
+/// across all points. Rate uses relative gain, latency relative reduction.
+struct Advantage {
+  std::string versus;
+  double rate_gain_pct = 0.0;
+  double latency_reduction_pct = 0.0;
+};
+
+[[nodiscard]] std::vector<Advantage> advantages_of(
+    const std::vector<PointResult>& results, const std::string& ours);
+
+}  // namespace idde::sim

@@ -1,0 +1,48 @@
+#include "sim/runner.hpp"
+
+#include "baselines/cdp.hpp"
+#include "baselines/dup_g.hpp"
+#include "baselines/idde_ip.hpp"
+#include "baselines/saa.hpp"
+#include "core/idde_g.hpp"
+#include "core/validation.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace idde::sim {
+
+RunRecord run_approach(const model::ProblemInstance& instance,
+                       const core::Approach& approach, util::Rng& rng,
+                       bool require_valid) {
+  util::Stopwatch stopwatch;
+  const core::Strategy strategy = approach.solve(instance, rng);
+  RunRecord record;
+  record.solve_ms = stopwatch.elapsed_ms();
+  record.approach = approach.name();
+  record.metrics = core::evaluate(instance, strategy);
+  record.game_rounds = strategy.game_rounds;
+  record.game_moves = strategy.game_moves;
+
+  const auto problems = core::validate_strategy(instance, strategy);
+  record.strategy_valid = problems.empty();
+  for (const std::string& problem : problems) {
+    util::log_error("{}: invalid strategy: {}", approach.name(), problem);
+  }
+  if (require_valid) {
+    IDDE_ASSERT(record.strategy_valid, "approach produced invalid strategy");
+  }
+  return record;
+}
+
+std::vector<core::ApproachPtr> make_paper_approaches(double ip_budget_ms) {
+  std::vector<core::ApproachPtr> approaches;
+  approaches.push_back(std::make_unique<baselines::IddeIp>(ip_budget_ms));
+  approaches.push_back(std::make_unique<core::IddeG>());
+  approaches.push_back(std::make_unique<baselines::Saa>());
+  approaches.push_back(std::make_unique<baselines::Cdp>());
+  approaches.push_back(std::make_unique<baselines::DupG>());
+  return approaches;
+}
+
+}  // namespace idde::sim

@@ -1,0 +1,24 @@
+// Scenario configuration = InstanceParams + JSON (de)serialisation, so
+// examples and external tooling can describe experiments declaratively.
+#pragma once
+
+#include <string>
+
+#include "model/instance_builder.hpp"
+#include "util/json.hpp"
+
+namespace idde::sim {
+
+/// Serialises every tunable of InstanceParams (defaults included).
+[[nodiscard]] util::Json params_to_json(const model::InstanceParams& params);
+
+/// Applies the fields present in `json` on top of defaults; unknown keys
+/// are ignored, wrong-typed known keys keep their defaults.
+[[nodiscard]] model::InstanceParams params_from_json(const util::Json& json);
+
+/// Round-trips through a JSON string.
+[[nodiscard]] std::string params_to_string(const model::InstanceParams& params,
+                                           int indent = 2);
+[[nodiscard]] model::InstanceParams params_from_string(const std::string& text);
+
+}  // namespace idde::sim

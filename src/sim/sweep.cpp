@@ -1,0 +1,67 @@
+#include "sim/sweep.hpp"
+
+#include <mutex>
+
+#include "util/assert.hpp"
+
+namespace idde::sim {
+
+std::vector<PointResult> run_sweep(
+    const std::vector<SweepPoint>& points,
+    const std::vector<core::ApproachPtr>& approaches,
+    const SweepOptions& options) {
+  IDDE_EXPECTS(options.repetitions > 0);
+  IDDE_EXPECTS(!approaches.empty());
+
+  util::ThreadPool pool(options.threads);
+  std::vector<PointResult> results;
+  results.reserve(points.size());
+
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const SweepPoint& point = points[p];
+    const model::InstanceBuilder builder(point.params);
+
+    // Per-(approach, repetition) samples.
+    const std::size_t a_count = approaches.size();
+    const auto reps = static_cast<std::size_t>(options.repetitions);
+    std::vector<util::RunningStats> rate(a_count), latency(a_count),
+        time(a_count);
+    std::mutex stats_mutex;
+
+    util::parallel_for(pool, reps, [&](std::size_t rep) {
+      // Instance seed depends only on (point, repetition): all approaches
+      // are compared on the same instance.
+      const std::uint64_t seed =
+          options.base_seed + 1000003ULL * p + 17ULL * rep;
+      const model::ProblemInstance instance = builder.build(seed);
+      std::vector<RunRecord> records;
+      records.reserve(a_count);
+      for (std::size_t a = 0; a < a_count; ++a) {
+        util::Rng rng(seed ^ (0xabcd0000ULL + a));
+        records.push_back(run_approach(instance, *approaches[a], rng));
+      }
+      const std::scoped_lock lock(stats_mutex);
+      for (std::size_t a = 0; a < a_count; ++a) {
+        rate[a].add(records[a].metrics.avg_rate_mbps);
+        latency[a].add(records[a].metrics.avg_latency_ms);
+        time[a].add(records[a].solve_ms);
+      }
+    });
+
+    PointResult point_result;
+    point_result.label = point.label;
+    for (std::size_t a = 0; a < a_count; ++a) {
+      point_result.cells.push_back(CellResult{
+          .approach = approaches[a]->name(),
+          .rate_mbps = util::summarize(rate[a]),
+          .latency_ms = util::summarize(latency[a]),
+          .solve_ms = util::summarize(time[a]),
+      });
+    }
+    if (options.on_point) options.on_point(point_result);
+    results.push_back(std::move(point_result));
+  }
+  return results;
+}
+
+}  // namespace idde::sim

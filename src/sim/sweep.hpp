@@ -1,0 +1,52 @@
+// Parameter sweeps with seeded repetitions — the paper runs every point 50
+// times and reports means. Repetitions of a point are independent (fresh
+// instance per seed) and run on the shared thread pool.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/instance_builder.hpp"
+#include "sim/runner.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace idde::sim {
+
+struct SweepPoint {
+  std::string label;  ///< e.g. "N=25" — the x-axis tick
+  model::InstanceParams params;
+};
+
+/// Aggregated result of one (point, approach) cell.
+struct CellResult {
+  std::string approach;
+  util::Estimate rate_mbps;
+  util::Estimate latency_ms;
+  util::Estimate solve_ms;
+};
+
+struct PointResult {
+  std::string label;
+  std::vector<CellResult> cells;  ///< one per approach, approach order
+};
+
+struct SweepOptions {
+  int repetitions = 10;
+  std::uint64_t base_seed = 42;
+  /// Threads for parallel repetitions; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Progress callback (invoked once per completed point, serialised).
+  std::function<void(const PointResult&)> on_point;
+};
+
+/// Runs every approach on every point x repetition and aggregates.
+/// Instances depend only on (point, repetition), so all approaches see
+/// identical inputs — the paper's paired-comparison protocol.
+[[nodiscard]] std::vector<PointResult> run_sweep(
+    const std::vector<SweepPoint>& points,
+    const std::vector<core::ApproachPtr>& approaches,
+    const SweepOptions& options);
+
+}  // namespace idde::sim

@@ -1,0 +1,116 @@
+#include "solver/exhaustive.hpp"
+
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "util/assert.hpp"
+
+namespace idde::solver {
+
+using core::AllocationProfile;
+using core::ChannelSlot;
+using core::DeliveryProfile;
+
+AllocationProfile optimal_allocation(const model::ProblemInstance& instance) {
+  const std::size_t m = instance.user_count();
+  const std::size_t channels = instance.radio_env().channels_per_server;
+
+  // Candidate list per user: unallocated + every covering (server, channel).
+  std::vector<std::vector<ChannelSlot>> candidates(m);
+  double combinations = 1.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    candidates[j].push_back(core::kUnallocated);
+    for (const std::size_t i : instance.covering_servers(j)) {
+      for (std::size_t x = 0; x < channels; ++x) {
+        candidates[j].push_back(ChannelSlot{i, x});
+      }
+    }
+    combinations *= static_cast<double>(candidates[j].size());
+  }
+  IDDE_ASSERT(combinations <= static_cast<double>(1 << 22),
+              "instance too large for exhaustive allocation");
+
+  AllocationProfile current(m, core::kUnallocated);
+  AllocationProfile best = current;
+  double best_rate = core::average_data_rate(instance, best);
+
+  // Odometer enumeration.
+  std::vector<std::size_t> cursor(m, 0);
+  for (;;) {
+    for (std::size_t j = 0; j < m; ++j) current[j] = candidates[j][cursor[j]];
+    const double rate = core::average_data_rate(instance, current);
+    if (rate > best_rate) {
+      best_rate = rate;
+      best = current;
+    }
+    std::size_t j = 0;
+    while (j < m && ++cursor[j] == candidates[j].size()) {
+      cursor[j] = 0;
+      ++j;
+    }
+    if (j == m) break;
+  }
+  return best;
+}
+
+namespace {
+
+struct PlacementSearch {
+  const model::ProblemInstance& instance;
+  const AllocationProfile& allocation;
+  std::vector<std::pair<std::size_t, std::size_t>> decisions;  // (i, k)
+  DeliveryProfile best;
+  double best_latency;
+
+  void recurse(DeliveryProfile& current, core::DeliveryEvaluator& evaluator,
+               std::size_t depth) {
+    if (evaluator.total_latency_seconds() < best_latency) {
+      best_latency = evaluator.total_latency_seconds();
+      best = current;
+    }
+    if (depth == decisions.size()) return;
+    const auto [i, k] = decisions[depth];
+
+    // Branch 1: take the placement (when feasible).
+    if (current.can_place(i, k)) {
+      // Copy evaluator state by re-deriving: commits are not undoable, so
+      // clone. Instances here are tiny by contract.
+      core::DeliveryEvaluator taken = evaluator;
+      DeliveryProfile taken_profile = current;
+      taken.commit(i, k);
+      taken_profile.place(i, k);
+      recurse(taken_profile, taken, depth + 1);
+    }
+    // Branch 2: skip it.
+    recurse(current, evaluator, depth + 1);
+  }
+};
+
+}  // namespace
+
+DeliveryProfile optimal_delivery(const model::ProblemInstance& instance,
+                                 const AllocationProfile& allocation) {
+  const std::size_t decisions = instance.server_count() *
+                                instance.data_count();
+  IDDE_ASSERT(decisions <= 24, "instance too large for exhaustive delivery");
+
+  PlacementSearch search{
+      .instance = instance,
+      .allocation = allocation,
+      .decisions = {},
+      .best = DeliveryProfile(instance),
+      .best_latency = 0.0,
+  };
+  for (std::size_t i = 0; i < instance.server_count(); ++i) {
+    for (std::size_t k = 0; k < instance.data_count(); ++k) {
+      search.decisions.emplace_back(i, k);
+    }
+  }
+  DeliveryProfile root(instance);
+  core::DeliveryEvaluator evaluator(instance, allocation);
+  search.best_latency = evaluator.total_latency_seconds() + 1.0;
+  search.recurse(root, evaluator, 0);
+  return search.best;
+}
+
+}  // namespace idde::solver

@@ -1,0 +1,26 @@
+// Brute-force optimal solvers for tiny instances. They are the test
+// oracles behind the approximation-ratio and POA property tests
+// (Theorems 5-7): exponential in M (allocation) and N*K (placement), so
+// callers must keep instances tiny; both abort beyond a hard size guard.
+#pragma once
+
+#include "core/delivery.hpp"
+#include "core/strategy.hpp"
+#include "model/instance.hpp"
+
+namespace idde::solver {
+
+/// Optimal user allocation for Objective #1: maximises R_avg (Eq. 5) by
+/// enumerating every profile in prod_j (|V_j| * X + 1). Requires
+/// prod <= 2^22 or aborts.
+[[nodiscard]] core::AllocationProfile optimal_allocation(
+    const model::ProblemInstance& instance);
+
+/// Optimal delivery profile for Objective #2 given a fixed allocation:
+/// minimises total latency by depth-first enumeration over the N*K
+/// placement decisions with storage pruning. Requires N*K <= 24 or aborts.
+[[nodiscard]] core::DeliveryProfile optimal_delivery(
+    const model::ProblemInstance& instance,
+    const core::AllocationProfile& allocation);
+
+}  // namespace idde::solver

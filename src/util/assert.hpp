@@ -1,0 +1,35 @@
+// Lightweight contract checking. IDDE_ASSERT is active in all build types:
+// the simulation is deterministic and cheap relative to the cost of silently
+// propagating a corrupted profile, so we never compile the checks out.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <source_location>
+#include <string_view>
+
+namespace idde::util {
+
+[[noreturn]] inline void
+assert_fail(std::string_view expr, std::string_view msg,
+            const std::source_location& loc) {
+  std::fprintf(stderr, "idde: assertion `%.*s` failed at %s:%u: %.*s\n",
+               static_cast<int>(expr.size()), expr.data(), loc.file_name(),
+               loc.line(), static_cast<int>(msg.size()), msg.data());
+  std::abort();
+}
+
+}  // namespace idde::util
+
+#define IDDE_ASSERT(cond, msg)                                     \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::idde::util::assert_fail(#cond, (msg),                      \
+                                std::source_location::current());  \
+    }                                                              \
+  } while (false)
+
+// Precondition/postcondition aliases, per the Core Guidelines' Expects()
+// and Ensures() spelling (I.6 / I.8).
+#define IDDE_EXPECTS(cond) IDDE_ASSERT(cond, "precondition violated")
+#define IDDE_ENSURES(cond) IDDE_ASSERT(cond, "postcondition violated")

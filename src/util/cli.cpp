@@ -1,0 +1,134 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/format.hpp"
+
+namespace idde::util {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_option(std::string_view name, Kind kind, void* storage,
+                           std::string_view help, std::string default_repr) {
+  IDDE_EXPECTS(storage != nullptr);
+  IDDE_EXPECTS(!name.empty());
+  IDDE_ASSERT(find(name) == nullptr, "duplicate CLI option");
+  options_.push_back(Option{std::string(name), kind, storage,
+                            std::string(help), std::move(default_repr)});
+}
+
+void CliParser::add_int(std::string_view name, int* storage,
+                        std::string_view help) {
+  add_option(name, Kind::kInt, storage, help, std::to_string(*storage));
+}
+
+void CliParser::add_size(std::string_view name, std::size_t* storage,
+                         std::string_view help) {
+  add_option(name, Kind::kSize, storage, help, std::to_string(*storage));
+}
+
+void CliParser::add_double(std::string_view name, double* storage,
+                           std::string_view help) {
+  add_option(name, Kind::kDouble, storage, help, util::format("{}", *storage));
+}
+
+void CliParser::add_string(std::string_view name, std::string* storage,
+                           std::string_view help) {
+  add_option(name, Kind::kString, storage, help, *storage);
+}
+
+void CliParser::add_flag(std::string_view name, bool* storage,
+                         std::string_view help) {
+  add_option(name, Kind::kFlag, storage, help, *storage ? "true" : "false");
+}
+
+CliParser::Option* CliParser::find(std::string_view name) {
+  for (auto& opt : options_) {
+    if (opt.name == name) return &opt;
+  }
+  return nullptr;
+}
+
+void CliParser::assign(Option& opt, std::string_view value) {
+  const auto parse_number = [&](auto& out) {
+    const auto result =
+        std::from_chars(value.data(), value.data() + value.size(), out);
+    if (result.ec != std::errc{} || result.ptr != value.data() + value.size()) {
+      throw std::invalid_argument(
+          util::format("bad value '{}' for --{}", value, opt.name));
+    }
+  };
+  switch (opt.kind) {
+    case Kind::kInt: parse_number(*static_cast<int*>(opt.storage)); break;
+    case Kind::kSize:
+      parse_number(*static_cast<std::size_t*>(opt.storage));
+      break;
+    case Kind::kDouble: {
+      // from_chars<double> is available in GCC 12.
+      parse_number(*static_cast<double*>(opt.storage));
+      break;
+    }
+    case Kind::kString:
+      *static_cast<std::string*>(opt.storage) = std::string(value);
+      break;
+    case Kind::kFlag: {
+      bool& flag = *static_cast<bool*>(opt.storage);
+      if (value == "true" || value == "1") flag = true;
+      else if (value == "false" || value == "0") flag = false;
+      else throw std::invalid_argument(util::format("bad bool '{}'", value));
+      break;
+    }
+  }
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (!arg.starts_with("--")) {
+      throw std::invalid_argument(util::format("unexpected argument '{}'", arg));
+    }
+    arg.remove_prefix(2);
+    std::string_view name = arg;
+    std::optional<std::string_view> inline_value;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+    }
+    Option* opt = find(name);
+    if (opt == nullptr) {
+      throw std::invalid_argument(util::format("unknown flag --{}", name));
+    }
+    if (inline_value.has_value()) {
+      assign(*opt, *inline_value);
+    } else if (opt->kind == Kind::kFlag) {
+      *static_cast<bool*>(opt->storage) = true;
+    } else {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(
+            util::format("flag --{} expects a value", name));
+      }
+      assign(*opt, argv[++i]);
+    }
+  }
+  return true;
+}
+
+std::string CliParser::usage() const {
+  std::string out = description_ + "\n\nOptions:\n";
+  for (const auto& opt : options_) {
+    out += "  --" + pad_right(opt.name, 18) + " " + opt.help +
+           " (default: " + opt.default_repr + ")\n";
+  }
+  out += "  --" + pad_right("help", 18) + " show this message\n";
+  return out;
+}
+
+}  // namespace idde::util

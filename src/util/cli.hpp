@@ -1,0 +1,54 @@
+// Tiny declarative CLI flag parser for the example and bench binaries.
+// Supports --name=value, --name value, and boolean --name forms.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace idde::util {
+
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description);
+
+  /// All registrations take a pointer to caller-owned storage holding the
+  /// default; the pointer must outlive parse().
+  void add_int(std::string_view name, int* storage, std::string_view help);
+  void add_size(std::string_view name, std::size_t* storage,
+                std::string_view help);
+  void add_double(std::string_view name, double* storage,
+                  std::string_view help);
+  void add_string(std::string_view name, std::string* storage,
+                  std::string_view help);
+  void add_flag(std::string_view name, bool* storage, std::string_view help);
+
+  /// Returns false (after printing usage) when --help is requested; throws
+  /// std::invalid_argument for unknown flags or malformed values.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { kInt, kSize, kDouble, kString, kFlag };
+
+  struct Option {
+    std::string name;
+    Kind kind;
+    void* storage;
+    std::string help;
+    std::string default_repr;
+  };
+
+  void add_option(std::string_view name, Kind kind, void* storage,
+                  std::string_view help, std::string default_repr);
+  Option* find(std::string_view name);
+  static void assign(Option& opt, std::string_view value);
+
+  std::string description_;
+  std::vector<Option> options_;
+};
+
+}  // namespace idde::util

@@ -1,0 +1,58 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace idde::util {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), columns_(header.size()) {
+  IDDE_EXPECTS(!header.empty());
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  IDDE_EXPECTS(fields.size() == columns_);
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << csv_escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::add(std::string_view value) {
+  cells_.emplace_back(value);
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::add(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  cells_.emplace_back(buf);
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::add(long long value) {
+  cells_.emplace_back(std::to_string(value));
+  return *this;
+}
+
+CsvWriter::RowBuilder::~RowBuilder() { writer_.row(cells_); }
+
+}  // namespace idde::util

@@ -1,0 +1,53 @@
+// CSV emission for experiment results. Writers quote on demand and keep a
+// fixed column schema so downstream plotting scripts can rely on headers.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace idde::util {
+
+/// Escapes a field per RFC 4180 (quotes when it contains , " or newline).
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+class CsvWriter {
+ public:
+  /// The writer does not own the stream; it must outlive the writer.
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  /// Appends one row; must match the header arity.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience for mixed cells; formats doubles with %.6g.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(CsvWriter& writer) : writer_(writer) {}
+    RowBuilder& add(std::string_view value);
+    RowBuilder& add(double value);
+    RowBuilder& add(long long value);
+    RowBuilder& add(std::size_t value) {
+      return add(static_cast<long long>(value));
+    }
+    RowBuilder& add(int value) { return add(static_cast<long long>(value)); }
+    ~RowBuilder();
+
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    CsvWriter& writer_;
+    std::vector<std::string> cells_;
+  };
+
+  RowBuilder start_row() { return RowBuilder(*this); }
+
+  [[nodiscard]] std::size_t columns() const noexcept { return columns_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_;
+};
+
+}  // namespace idde::util

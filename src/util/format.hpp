@@ -1,0 +1,79 @@
+// Minimal "{}"-substitution formatting, standing in for std::format (not in
+// libstdc++ 12). Only positional "{}" placeholders are supported; values are
+// rendered with sensible defaults (%.6g for floating point). Call sites that
+// need width or precision control format the value explicitly first.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace idde::util {
+
+namespace detail {
+
+inline void append_value(std::string& out, std::string_view v) { out += v; }
+inline void append_value(std::string& out, const std::string& v) { out += v; }
+inline void append_value(std::string& out, const char* v) { out += v; }
+inline void append_value(std::string& out, char v) { out.push_back(v); }
+inline void append_value(std::string& out, bool v) {
+  out += v ? "true" : "false";
+}
+
+template <typename T>
+  requires std::is_integral_v<T> && (!std::is_same_v<T, bool>) &&
+           (!std::is_same_v<T, char>)
+void append_value(std::string& out, T v) {
+  out += std::to_string(v);
+}
+
+template <typename T>
+  requires std::is_floating_point_v<T>
+void append_value(std::string& out, T v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", static_cast<double>(v));
+  out += buf;
+}
+
+inline void format_impl(std::string& out, std::string_view fmt) { out += fmt; }
+
+template <typename First, typename... Rest>
+void format_impl(std::string& out, std::string_view fmt, First&& first,
+                 Rest&&... rest) {
+  const std::size_t brace = fmt.find("{}");
+  if (brace == std::string_view::npos) {
+    out += fmt;
+    return;  // more arguments than placeholders: extras are dropped
+  }
+  out += fmt.substr(0, brace);
+  append_value(out, std::forward<First>(first));
+  format_impl(out, fmt.substr(brace + 2), std::forward<Rest>(rest)...);
+}
+
+}  // namespace detail
+
+/// Replaces successive "{}" in `fmt` with the arguments, in order.
+template <typename... Args>
+[[nodiscard]] std::string format(std::string_view fmt, Args&&... args) {
+  std::string out;
+  out.reserve(fmt.size() + sizeof...(args) * 8);
+  detail::format_impl(out, fmt, std::forward<Args>(args)...);
+  return out;
+}
+
+/// Fixed-precision floating point rendering ("%.*f").
+[[nodiscard]] inline std::string fixed(double value, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+/// Left-justifies `text` into a field of at least `width` characters.
+[[nodiscard]] inline std::string pad_right(std::string text,
+                                           std::size_t width) {
+  if (text.size() < width) text.append(width - text.size(), ' ');
+  return text;
+}
+
+}  // namespace idde::util

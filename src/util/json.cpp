@@ -1,0 +1,365 @@
+#include "util/json.hpp"
+
+#include "util/format.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace idde::util {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view what, std::size_t pos) {
+  throw JsonError(util::format("JSON error at offset {}: {}", pos, what));
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters", pos_);
+    return value;
+  }
+
+ private:
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input", pos_);
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) fail(util::format("expected '{}'", c), pos_ - 1);
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_whitespace();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal", pos_);
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal", pos_);
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal", pos_);
+        return Json(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    JsonObject object;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(object));
+    }
+    for (;;) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      object.insert_or_assign(std::move(key), parse_value());
+      skip_whitespace();
+      const char c = take();
+      if (c == '}') return Json(std::move(object));
+      if (c != ',') fail("expected ',' or '}'", pos_ - 1);
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    JsonArray array;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(array));
+    }
+    for (;;) {
+      array.push_back(parse_value());
+      skip_whitespace();
+      const char c = take();
+      if (c == ']') return Json(std::move(array));
+      if (c != ',') fail("expected ',' or ']'", pos_ - 1);
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape", pos_ - 1);
+          }
+          // UTF-8 encode (BMP only; surrogate pairs rejected).
+          if (code >= 0xD800 && code <= 0xDFFF) fail("surrogates unsupported", pos_);
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("bad escape", pos_ - 1);
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double value = 0.0;
+    const auto result =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (result.ec != std::errc{} || result.ptr != text_.data() + pos_) {
+      fail("bad number", start);
+    }
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_number(double d, std::string& out) {
+  if (std::isfinite(d) && d == std::floor(d) && std::abs(d) < 1e15) {
+    out += std::to_string(static_cast<long long>(d));
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+}
+
+void dump_value(const Json& value, std::string& out, int indent, int depth);
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out.push_back('\n');
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+             ' ');
+}
+
+void dump_value(const Json& value, std::string& out, int indent, int depth) {
+  if (value.is_null()) {
+    out += "null";
+  } else if (value.is_bool()) {
+    out += value.as_bool() ? "true" : "false";
+  } else if (value.is_number()) {
+    dump_number(value.as_number(), out);
+  } else if (value.is_string()) {
+    dump_string(value.as_string(), out);
+  } else if (value.is_array()) {
+    const auto& array = value.as_array();
+    if (array.empty()) {
+      out += "[]";
+      return;
+    }
+    out.push_back('[');
+    bool first = true;
+    for (const auto& element : array) {
+      if (!first) out.push_back(',');
+      first = false;
+      newline_indent(out, indent, depth + 1);
+      dump_value(element, out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out.push_back(']');
+  } else {
+    const auto& object = value.as_object();
+    if (object.empty()) {
+      out += "{}";
+      return;
+    }
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [key, element] : object) {
+      if (!first) out.push_back(',');
+      first = false;
+      newline_indent(out, indent, depth + 1);
+      dump_string(key, out);
+      out.push_back(':');
+      if (indent >= 0) out.push_back(' ');
+      dump_value(element, out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out.push_back('}');
+  }
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (!is_bool()) throw JsonError("not a bool");
+  return std::get<bool>(value_);
+}
+
+double Json::as_number() const {
+  if (!is_number()) throw JsonError("not a number");
+  return std::get<double>(value_);
+}
+
+std::int64_t Json::as_int() const {
+  const double d = as_number();
+  return static_cast<std::int64_t>(d);
+}
+
+const std::string& Json::as_string() const {
+  if (!is_string()) throw JsonError("not a string");
+  return std::get<std::string>(value_);
+}
+
+const JsonArray& Json::as_array() const {
+  if (!is_array()) throw JsonError("not an array");
+  return std::get<JsonArray>(value_);
+}
+
+const JsonObject& Json::as_object() const {
+  if (!is_object()) throw JsonError("not an object");
+  return std::get<JsonObject>(value_);
+}
+
+JsonArray& Json::as_array() {
+  if (!is_array()) throw JsonError("not an array");
+  return std::get<JsonArray>(value_);
+}
+
+JsonObject& Json::as_object() {
+  if (!is_object()) throw JsonError("not an object");
+  return std::get<JsonObject>(value_);
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* found = find(key);
+  if (found == nullptr) throw JsonError(util::format("missing key '{}'", key));
+  return *found;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const auto& object = std::get<JsonObject>(value_);
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+double Json::number_or(std::string_view key, double fallback) const {
+  const Json* found = find(key);
+  return (found != nullptr && found->is_number()) ? found->as_number()
+                                                  : fallback;
+}
+
+std::int64_t Json::int_or(std::string_view key, std::int64_t fallback) const {
+  const Json* found = find(key);
+  return (found != nullptr && found->is_number()) ? found->as_int() : fallback;
+}
+
+bool Json::bool_or(std::string_view key, bool fallback) const {
+  const Json* found = find(key);
+  return (found != nullptr && found->is_bool()) ? found->as_bool() : fallback;
+}
+
+std::string Json::string_or(std::string_view key, std::string fallback) const {
+  const Json* found = find(key);
+  return (found != nullptr && found->is_string()) ? found->as_string()
+                                                  : fallback;
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_value(*this, out, indent, 0);
+  return out;
+}
+
+Json Json::parse(std::string_view text) {
+  Parser parser(text);
+  return parser.parse_document();
+}
+
+}  // namespace idde::util

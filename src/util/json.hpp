@@ -1,0 +1,93 @@
+// Minimal JSON value, parser and writer, used for scenario configuration and
+// result files. Supports the full JSON grammar except for \u escapes beyond
+// the BMP surrogate handling (inputs here are machine-generated ASCII).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace idde::util {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+// std::map keeps key order deterministic for golden-file tests.
+using JsonObject = std::map<std::string, Json, std::less<>>;
+
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  using Value = std::variant<std::nullptr_t, bool, double, std::string,
+                             JsonArray, JsonObject>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(std::size_t i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const { return holds<std::nullptr_t>(); }
+  [[nodiscard]] bool is_bool() const { return holds<bool>(); }
+  [[nodiscard]] bool is_number() const { return holds<double>(); }
+  [[nodiscard]] bool is_string() const { return holds<std::string>(); }
+  [[nodiscard]] bool is_array() const { return holds<JsonArray>(); }
+  [[nodiscard]] bool is_object() const { return holds<JsonObject>(); }
+
+  /// Typed accessors throw JsonError on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] const JsonObject& as_object() const;
+  [[nodiscard]] JsonArray& as_array();
+  [[nodiscard]] JsonObject& as_object();
+
+  /// Object member lookup; throws if not an object or key missing.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+  /// Returns nullptr when missing (or not an object).
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  /// Member access with default.
+  [[nodiscard]] double number_or(std::string_view key, double fallback) const;
+  [[nodiscard]] std::int64_t int_or(std::string_view key,
+                                    std::int64_t fallback) const;
+  [[nodiscard]] bool bool_or(std::string_view key, bool fallback) const;
+  [[nodiscard]] std::string string_or(std::string_view key,
+                                      std::string fallback) const;
+
+  /// Serialises; indent < 0 emits compact one-line JSON.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Parses a complete JSON document; throws JsonError with position info.
+  static Json parse(std::string_view text);
+
+  friend bool operator==(const Json&, const Json&) = default;
+
+ private:
+  template <typename T>
+  [[nodiscard]] bool holds() const {
+    return std::holds_alternative<T>(value_);
+  }
+
+  Value value_;
+};
+
+}  // namespace idde::util

@@ -1,0 +1,48 @@
+// Minimal leveled logger writing to stderr. Thread-safe; a single global
+// level gates output. Deliberately not configurable per-module: the library
+// is quiet by default and the harness raises verbosity when asked.
+#pragma once
+
+#include <string_view>
+
+#include "util/format.hpp"
+
+namespace idde::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Parses "debug"/"info"/"warn"/"error"/"off"; unknown strings map to kInfo.
+LogLevel parse_log_level(std::string_view name) noexcept;
+
+namespace detail {
+void log_write(LogLevel level, std::string_view message);
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, std::string_view fmt, Args&&... args) {
+  if (level < log_level()) return;
+  detail::log_write(level, format(fmt, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_debug(std::string_view fmt, Args&&... args) {
+  log(LogLevel::kDebug, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(std::string_view fmt, Args&&... args) {
+  log(LogLevel::kInfo, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(std::string_view fmt, Args&&... args) {
+  log(LogLevel::kWarn, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(std::string_view fmt, Args&&... args) {
+  log(LogLevel::kError, fmt, std::forward<Args>(args)...);
+}
+
+}  // namespace idde::util

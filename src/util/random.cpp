@@ -1,0 +1,95 @@
+#include "util/random.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace idde::util {
+
+std::uint64_t Rng::bounded(std::uint64_t bound) noexcept {
+  // Rejection sampling on the top bits; bias-free for any bound.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = gen_();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::normal() noexcept {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = 2.0 * uniform() - 1.0;
+    v = 2.0 * uniform() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return u * factor;
+}
+
+double Rng::exponential(double lambda) {
+  IDDE_EXPECTS(lambda > 0.0);
+  // uniform() < 1 guarantees log argument > 0.
+  return -std::log(1.0 - uniform()) / lambda;
+}
+
+int Rng::poisson(double lambda) {
+  IDDE_EXPECTS(lambda >= 0.0);
+  if (lambda == 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-lambda);
+    double product = uniform();
+    int count = 0;
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction; adequate for workload
+  // generation at large means.
+  const double draw = normal(lambda, std::sqrt(lambda));
+  return draw < 0.0 ? 0 : static_cast<int>(draw + 0.5);
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  IDDE_EXPECTS(n > 0);
+  IDDE_EXPECTS(s >= 0.0);
+  if (n == 1) return 0;
+  if (s == 0.0) return index(n);
+  // CDF inversion over explicitly normalised weights. n is small (data
+  // catalogue sizes), so the O(n) scan is fine and exact.
+  double norm = 0.0;
+  for (std::size_t rank = 1; rank <= n; ++rank) {
+    norm += 1.0 / std::pow(static_cast<double>(rank), s);
+  }
+  const double target = uniform() * norm;
+  double cumulative = 0.0;
+  for (std::size_t rank = 1; rank <= n; ++rank) {
+    cumulative += 1.0 / std::pow(static_cast<double>(rank), s);
+    if (cumulative >= target) return rank - 1;
+  }
+  return n - 1;
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  IDDE_EXPECTS(k <= n);
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  // Partial Fisher–Yates: the first k positions become the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + index(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace idde::util

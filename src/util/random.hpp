@@ -1,0 +1,169 @@
+// Deterministic, fast pseudo-randomness for the simulator.
+//
+// Every stochastic component in the library draws from an explicitly seeded
+// Xoshiro256** stream so that any experiment is reproducible from a single
+// 64-bit seed. std::mt19937 is avoided: its state is large, seeding from a
+// single word is biased, and implementations may differ in distribution
+// output; all distributions here are implemented in-repo.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace idde::util {
+
+/// SplitMix64: used to expand a single seed word into the Xoshiro state and
+/// to derive independent child seeds (seed-sequence style).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** by Blackman & Vigna. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x1dde0001u) noexcept {
+    SplitMix64 mix(seed);
+    for (auto& word : state_) word = mix.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derives an independent generator for a named sub-stream; `stream_id`
+  /// values must differ for streams used together.
+  [[nodiscard]] Xoshiro256 fork(std::uint64_t stream_id) const noexcept {
+    SplitMix64 mix(state_[0] ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1)));
+    Xoshiro256 child(mix.next());
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Random helpers bound to one generator. All ranges are validated.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x1dde0001u) : gen_(seed) {}
+  explicit Rng(Xoshiro256 gen) : gen_(gen) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    // 53 random mantissa bits.
+    return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    IDDE_EXPECTS(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    IDDE_EXPECTS(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(bounded(span));
+  }
+
+  /// Uniform index in [0, n).
+  std::size_t index(std::size_t n) {
+    IDDE_EXPECTS(n > 0);
+    return static_cast<std::size_t>(bounded(n));
+  }
+
+  bool bernoulli(double p) {
+    IDDE_EXPECTS(p >= 0.0 && p <= 1.0);
+    return uniform() < p;
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() noexcept;
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with rate lambda (> 0).
+  double exponential(double lambda);
+
+  /// Poisson with mean lambda (>= 0); inversion for small, PTRS-free
+  /// normal approximation for large means.
+  int poisson(double lambda);
+
+  /// Zipf-distributed rank in [0, n) with exponent s >= 0 (s = 0 uniform).
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Picks one element uniformly.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    IDDE_EXPECTS(!items.empty());
+    return items[index(items.size())];
+  }
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return pick(std::span<const T>(items));
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Derives an independent child RNG.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const noexcept {
+    return Rng(gen_.fork(stream_id));
+  }
+
+  Xoshiro256& generator() noexcept { return gen_; }
+
+ private:
+  // Lemire-style unbiased bounded draw.
+  std::uint64_t bounded(std::uint64_t bound) noexcept;
+
+  Xoshiro256 gen_;
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace idde::util

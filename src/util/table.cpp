@@ -1,0 +1,73 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace idde::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  IDDE_EXPECTS(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  IDDE_EXPECTS(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+TextTable::RowBuilder& TextTable::RowBuilder::add(std::string value) {
+  cells_.push_back(std::move(value));
+  return *this;
+}
+
+TextTable::RowBuilder& TextTable::RowBuilder::add(double value,
+                                                  int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  cells_.emplace_back(buf);
+  return *this;
+}
+
+TextTable::RowBuilder& TextTable::RowBuilder::add(long long value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+TextTable::RowBuilder::~RowBuilder() { table_.add_row(std::move(cells_)); }
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << row[c];
+      out << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  out << "-|\n";
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+}  // namespace idde::util

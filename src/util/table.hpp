@@ -1,0 +1,50 @@
+// Aligned plain-text tables: the bench binaries print the paper's figures as
+// series tables (one row per sweep point, one column per approach).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace idde::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends mixed cells with default numeric formatting.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(TextTable& table) : table_(table) {}
+    RowBuilder& add(std::string value);
+    RowBuilder& add(double value, int precision = 2);
+    RowBuilder& add(long long value);
+    RowBuilder& add(int value) { return add(static_cast<long long>(value)); }
+    RowBuilder& add(std::size_t value) {
+      return add(static_cast<long long>(value));
+    }
+    ~RowBuilder();
+
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    TextTable& table_;
+    std::vector<std::string> cells_;
+  };
+
+  RowBuilder start_row() { return RowBuilder(*this); }
+
+  void print(std::ostream& out) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace idde::util

@@ -1,0 +1,99 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "util/assert.hpp"
+
+namespace idde::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  IDDE_EXPECTS(task != nullptr);
+  {
+    const std::scoped_lock lock(mutex_);
+    IDDE_ASSERT(!stopping_, "submit after shutdown");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      const std::scoped_lock lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::atomic<std::size_t> next{0};
+  // One task per worker, each draining a shared index counter: cheap for
+  // both many-tiny and few-large iteration bodies.
+  const std::size_t lanes = std::min(pool.size(), count);
+  std::atomic<std::size_t> lanes_done{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    pool.submit([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) break;
+        try {
+          body(i);
+        } catch (...) {
+          const std::scoped_lock lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      if (lanes_done.fetch_add(1) + 1 == lanes) {
+        const std::scoped_lock lock(done_mutex);
+        done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return lanes_done.load() == lanes; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace idde::util

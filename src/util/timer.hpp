@@ -1,0 +1,55 @@
+// Wall-clock timing. The paper's Fig. 7 reports per-approach computation
+// time; every solver run is wrapped in a Stopwatch by the harness.
+#pragma once
+
+#include <chrono>
+
+namespace idde::util {
+
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return elapsed_seconds() * 1e3;
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Deadline helper for anytime solvers (the IDDE-IP time cap).
+class Deadline {
+ public:
+  /// budget_ms <= 0 means "no deadline".
+  explicit Deadline(double budget_ms)
+      : has_deadline_(budget_ms > 0.0),
+        end_(Stopwatch::Clock::now() +
+             std::chrono::duration_cast<Stopwatch::Clock::duration>(
+                 std::chrono::duration<double, std::milli>(
+                     budget_ms > 0.0 ? budget_ms : 0.0))) {}
+
+  [[nodiscard]] bool expired() const noexcept {
+    return has_deadline_ && Stopwatch::Clock::now() >= end_;
+  }
+
+  [[nodiscard]] double remaining_ms() const noexcept {
+    if (!has_deadline_) return 1e18;
+    return std::chrono::duration<double, std::milli>(
+               end_ - Stopwatch::Clock::now())
+        .count();
+  }
+
+ private:
+  bool has_deadline_;
+  Stopwatch::Clock::time_point end_;
+};
+
+}  // namespace idde::util

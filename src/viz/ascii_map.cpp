@@ -1,0 +1,114 @@
+#include "viz/ascii_map.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/format.hpp"
+
+namespace idde::viz {
+
+std::string render_map(const model::ProblemInstance& instance,
+                       const MapOptions& options) {
+  IDDE_EXPECTS(options.width_chars >= 8 && options.height_chars >= 4);
+  // World extent: bounding box of all positions, padded slightly.
+  double min_x = 1e300;
+  double min_y = 1e300;
+  double max_x = -1e300;
+  double max_y = -1e300;
+  const auto extend = [&](const geo::Point& p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  };
+  for (const auto& s : instance.servers()) extend(s.position);
+  for (const auto& u : instance.users()) extend(u.position);
+  if (min_x > max_x) {  // no entities at all
+    min_x = min_y = 0.0;
+    max_x = max_y = 1.0;
+  }
+  const double pad_x = std::max(1.0, (max_x - min_x) * 0.02);
+  const double pad_y = std::max(1.0, (max_y - min_y) * 0.02);
+  min_x -= pad_x;
+  max_x += pad_x;
+  min_y -= pad_y;
+  max_y += pad_y;
+
+  const std::size_t w = options.width_chars;
+  const std::size_t h = options.height_chars;
+  const double cell_w = (max_x - min_x) / static_cast<double>(w);
+  const double cell_h = (max_y - min_y) / static_cast<double>(h);
+  std::vector<char> grid(w * h, ' ');
+
+  const auto cell_of = [&](const geo::Point& p) {
+    auto cx = static_cast<std::size_t>((p.x - min_x) / cell_w);
+    auto cy = static_cast<std::size_t>((p.y - min_y) / cell_h);
+    cx = std::min(cx, w - 1);
+    cy = std::min(cy, h - 1);
+    // y grows upward in world space, downward on screen.
+    return (h - 1 - cy) * w + cx;
+  };
+  const auto cell_center = [&](std::size_t cx, std::size_t cy) {
+    return geo::Point{min_x + (static_cast<double>(cx) + 0.5) * cell_w,
+                      min_y + (static_cast<double>(cy) + 0.5) * cell_h};
+  };
+
+  // Coverage shading first (lowest precedence).
+  if (options.show_coverage) {
+    for (std::size_t cy = 0; cy < h; ++cy) {
+      for (std::size_t cx = 0; cx < w; ++cx) {
+        const geo::Point center = cell_center(cx, cy);
+        for (const auto& s : instance.servers()) {
+          if (geo::distance(center, s.position) <= s.coverage_radius_m) {
+            grid[(h - 1 - cy) * w + cx] = '.';
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Users.
+  if (options.allocation != nullptr) {
+    IDDE_EXPECTS(options.allocation->size() == instance.user_count());
+  }
+  for (std::size_t j = 0; j < instance.user_count(); ++j) {
+    char glyph = '+';
+    if (options.allocation != nullptr) {
+      const core::ChannelSlot slot = (*options.allocation)[j];
+      glyph = slot.allocated()
+                  ? static_cast<char>('a' + static_cast<char>(slot.server % 26))
+                  : '?';
+    }
+    grid[cell_of(instance.user(j).position)] = glyph;
+  }
+
+  // Servers on top.
+  for (const auto& s : instance.servers()) {
+    grid[cell_of(s.position)] = '#';
+  }
+
+  std::string out;
+  out.reserve((w + 3) * (h + 4));
+  const std::string border(w + 2, '-');
+  out += border + "\n";
+  for (std::size_t row = 0; row < h; ++row) {
+    out.push_back('|');
+    out.append(grid.data() + row * w, w);
+    out += "|\n";
+  }
+  out += border + "\n";
+  out += util::format("# edge server ({}), ", instance.server_count());
+  if (options.allocation != nullptr) {
+    out += "a-z user by serving server, ? unallocated user, ";
+  } else {
+    out += "+ user, ";
+  }
+  out += util::format(". coverage; {} x {} m\n",
+                      util::fixed(max_x - min_x, 0),
+                      util::fixed(max_y - min_y, 0));
+  return out;
+}
+
+}  // namespace idde::viz

@@ -1,0 +1,27 @@
+// ASCII rendering of an instance: servers, coverage footprints, users and
+// (optionally) the user-allocation assignment. Meant for quick debugging
+// and documentation — `examples/draw_city` prints the synthetic EUA layout.
+#pragma once
+
+#include <string>
+
+#include "core/strategy.hpp"
+#include "model/instance.hpp"
+
+namespace idde::viz {
+
+struct MapOptions {
+  std::size_t width_chars = 72;
+  std::size_t height_chars = 28;
+  bool show_coverage = true;  ///< shade cells inside any coverage disc
+  /// With an allocation, users are drawn as the letter of their serving
+  /// server ('a' + server % 26); without, as '+'.
+  const core::AllocationProfile* allocation = nullptr;
+};
+
+/// Renders the instance to a newline-separated character grid with legend.
+/// Glyph precedence per cell: server ('#') > user > coverage shade ('.').
+[[nodiscard]] std::string render_map(const model::ProblemInstance& instance,
+                                     const MapOptions& options = {});
+
+}  // namespace idde::viz

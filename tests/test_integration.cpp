@@ -1,0 +1,160 @@
+// End-to-end properties of the full pipeline — the statistical claims the
+// paper's figures rest on, checked at reduced scale:
+//  - IDDE-G achieves the highest average data rate and the lowest average
+//    delivery latency of the five approaches (averaged over seeds),
+//  - R_avg falls with M and rises with N; L_avg rises with K,
+//  - all approaches produce feasible strategies everywhere.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/idde_g.hpp"
+#include "core/metrics.hpp"
+#include "model/instance_builder.hpp"
+#include "sim/paper.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+using namespace idde;
+
+/// Reduced-scale default point (keeps CI fast; the benches run full scale).
+model::InstanceParams ci_params() {
+  model::InstanceParams p = sim::paper_default_params();
+  p.server_count = 15;
+  p.user_count = 80;
+  p.data_count = 4;
+  return p;
+}
+
+std::map<std::string, std::pair<double, double>> averaged_metrics(
+    const model::InstanceParams& params, int reps, double ip_budget_ms = 25.0) {
+  const auto approaches = sim::make_paper_approaches(ip_budget_ms);
+  std::map<std::string, std::pair<double, double>> sums;
+  const model::InstanceBuilder builder(params);
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto inst = builder.build(5000 + static_cast<std::uint64_t>(rep));
+    for (const auto& approach : approaches) {
+      util::Rng rng(900 + static_cast<std::uint64_t>(rep));
+      const auto record = sim::run_approach(inst, *approach, rng, true);
+      sums[record.approach].first += record.metrics.avg_rate_mbps;
+      sums[record.approach].second += record.metrics.avg_latency_ms;
+    }
+  }
+  for (auto& [name, metrics] : sums) {
+    metrics.first /= reps;
+    metrics.second /= reps;
+  }
+  return sums;
+}
+
+TEST(EndToEnd, IddeGWinsBothObjectivesOnAverage) {
+  const auto metrics = averaged_metrics(ci_params(), 6);
+  const auto& [g_rate, g_latency] = metrics.at("IDDE-G");
+  for (const auto& [name, rate_latency] : metrics) {
+    if (name == "IDDE-G") continue;
+    EXPECT_GE(g_rate, rate_latency.first * 0.98) << "rate vs " << name;
+    EXPECT_LE(g_latency, rate_latency.second * 1.02) << "latency vs " << name;
+  }
+}
+
+TEST(EndToEnd, InterferenceObliviousBaselinesTrailOnRate) {
+  const auto metrics = averaged_metrics(ci_params(), 5);
+  // SAA (random channels) must trail IDDE-G by a clear margin.
+  EXPECT_LT(metrics.at("SAA").first, metrics.at("IDDE-G").first * 0.95);
+}
+
+TEST(EndToEnd, NonCollaborativeBaselinesPayLatency) {
+  const auto metrics = averaged_metrics(ci_params(), 5);
+  EXPECT_GT(metrics.at("CDP").second, metrics.at("IDDE-G").second * 1.5);
+  EXPECT_GT(metrics.at("DUP-G").second, metrics.at("IDDE-G").second * 1.5);
+}
+
+TEST(EndToEnd, RateFallsWithMoreUsers) {
+  // Fig. 4(a)'s trend.
+  model::InstanceParams low = ci_params();
+  low.user_count = 30;
+  model::InstanceParams high = ci_params();
+  high.user_count = 150;
+  double rate_low = 0.0;
+  double rate_high = 0.0;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto a = model::make_instance(low, 6000 + seed);
+    const auto b = model::make_instance(high, 6000 + seed);
+    util::Rng rng(seed);
+    core::IddeG g;
+    rate_low += core::evaluate(a, g.solve(a, rng)).avg_rate_mbps;
+    rate_high += core::evaluate(b, g.solve(b, rng)).avg_rate_mbps;
+  }
+  EXPECT_GT(rate_low, rate_high);
+}
+
+TEST(EndToEnd, RateRisesWithMoreServers) {
+  // Fig. 3(a)'s trend.
+  model::InstanceParams few = ci_params();
+  few.server_count = 10;
+  model::InstanceParams many = ci_params();
+  many.server_count = 40;
+  double rate_few = 0.0;
+  double rate_many = 0.0;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto a = model::make_instance(few, 7000 + seed);
+    const auto b = model::make_instance(many, 7000 + seed);
+    util::Rng rng(seed);
+    core::IddeG g;
+    rate_few += core::evaluate(a, g.solve(a, rng)).avg_rate_mbps;
+    rate_many += core::evaluate(b, g.solve(b, rng)).avg_rate_mbps;
+  }
+  EXPECT_GT(rate_many, rate_few);
+}
+
+TEST(EndToEnd, LatencyRisesWithMoreData) {
+  // Fig. 5(b)'s trend: a larger catalogue under fixed storage.
+  model::InstanceParams few = ci_params();
+  few.data_count = 2;
+  model::InstanceParams many = ci_params();
+  many.data_count = 8;
+  double lat_few = 0.0;
+  double lat_many = 0.0;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto a = model::make_instance(few, 8000 + seed);
+    const auto b = model::make_instance(many, 8000 + seed);
+    util::Rng rng(seed);
+    core::IddeG g;
+    lat_few += core::evaluate(a, g.solve(a, rng)).avg_latency_ms;
+    lat_many += core::evaluate(b, g.solve(b, rng)).avg_latency_ms;
+  }
+  EXPECT_GT(lat_many, lat_few);
+}
+
+TEST(EndToEnd, FullSweepPipelineRuns) {
+  // One miniature end-to-end sweep through the real harness with all five
+  // approaches: every cell populated, labels ordered.
+  std::vector<sim::SweepPoint> points;
+  for (const std::size_t n : {10u, 14u}) {
+    model::InstanceParams p = ci_params();
+    p.server_count = n;
+    points.push_back({util::format("N={}", n), p});
+  }
+  sim::SweepOptions options;
+  options.repetitions = 2;
+  options.threads = 2;
+  const auto approaches = sim::make_paper_approaches(/*ip_budget_ms=*/15.0);
+  const auto results = sim::run_sweep(points, approaches, options);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& point : results) {
+    ASSERT_EQ(point.cells.size(), 5u);
+    for (const auto& cell : point.cells) {
+      EXPECT_GT(cell.rate_mbps.mean, 0.0);
+      EXPECT_GT(cell.latency_ms.mean, 0.0);
+      EXPECT_EQ(cell.rate_mbps.n, 2u);
+    }
+  }
+  const auto advantages = sim::advantages_of(results, "IDDE-G");
+  EXPECT_EQ(advantages.size(), 4u);
+}
+
+}  // namespace

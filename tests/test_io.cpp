@@ -1,0 +1,161 @@
+// Serialisation round-trips: instances and strategies survive JSON exactly
+// (metrics identical), malformed input is rejected.
+#include <gtest/gtest.h>
+
+#include "core/idde_g.hpp"
+#include "core/metrics.hpp"
+#include "core/strategy_io.hpp"
+#include "core/validation.hpp"
+#include "model/instance_builder.hpp"
+#include "model/instance_io.hpp"
+#include "model/validation.hpp"
+#include "sim/paper.hpp"
+
+namespace {
+
+using namespace idde;
+
+model::InstanceParams small_params() {
+  model::InstanceParams p = sim::paper_default_params();
+  p.server_count = 8;
+  p.user_count = 30;
+  p.data_count = 3;
+  return p;
+}
+
+TEST(InstanceIo, RoundTripPreservesShapes) {
+  const auto original = model::make_instance(small_params(), 1);
+  const auto copy =
+      model::instance_from_string(model::instance_to_string(original));
+  EXPECT_EQ(copy.server_count(), original.server_count());
+  EXPECT_EQ(copy.user_count(), original.user_count());
+  EXPECT_EQ(copy.data_count(), original.data_count());
+  EXPECT_EQ(copy.requests().total_requests(),
+            original.requests().total_requests());
+  EXPECT_EQ(copy.graph().edge_count(), original.graph().edge_count());
+  EXPECT_DOUBLE_EQ(copy.total_storage_mb(), original.total_storage_mb());
+}
+
+TEST(InstanceIo, RoundTripPreservesRadioAndCoverage) {
+  const auto original = model::make_instance(small_params(), 2);
+  const auto copy =
+      model::instance_from_string(model::instance_to_string(original));
+  EXPECT_EQ(copy.radio_env().gain, original.radio_env().gain);
+  EXPECT_EQ(copy.radio_env().bandwidth, original.radio_env().bandwidth);
+  EXPECT_DOUBLE_EQ(copy.radio_env().noise_watts,
+                   original.radio_env().noise_watts);
+  for (std::size_t j = 0; j < original.user_count(); ++j) {
+    EXPECT_EQ(copy.covering_servers(j), original.covering_servers(j));
+  }
+  EXPECT_TRUE(model::validate_instance(copy).empty());
+}
+
+TEST(InstanceIo, RoundTripPreservesLatencyModel) {
+  const auto original = model::make_instance(small_params(), 3);
+  const auto copy =
+      model::instance_from_string(model::instance_to_string(original));
+  for (std::size_t a = 0; a < original.server_count(); ++a) {
+    for (std::size_t b = 0; b < original.server_count(); ++b) {
+      EXPECT_NEAR(copy.latency().edge_transfer_seconds(a, b, 60.0),
+                  original.latency().edge_transfer_seconds(a, b, 60.0),
+                  1e-12);
+    }
+  }
+  EXPECT_DOUBLE_EQ(copy.latency().cloud_speed_mbps(),
+                   original.latency().cloud_speed_mbps());
+}
+
+TEST(InstanceIo, SolverMetricsIdenticalAfterRoundTrip) {
+  const auto original = model::make_instance(small_params(), 4);
+  const auto copy =
+      model::instance_from_string(model::instance_to_string(original));
+  util::Rng rng_a(9);
+  util::Rng rng_b(9);
+  const auto sa = core::IddeG().solve(original, rng_a);
+  const auto sb = core::IddeG().solve(copy, rng_b);
+  const auto ma = core::evaluate(original, sa);
+  const auto mb = core::evaluate(copy, sb);
+  EXPECT_DOUBLE_EQ(ma.avg_rate_mbps, mb.avg_rate_mbps);
+  EXPECT_DOUBLE_EQ(ma.avg_latency_ms, mb.avg_latency_ms);
+}
+
+TEST(InstanceIo, RejectsWrongFormatTag) {
+  EXPECT_DEATH(
+      (void)model::instance_from_string(R"({"format":"something-else"})"),
+      "unknown instance format");
+}
+
+TEST(InstanceIo, MalformedJsonThrows) {
+  EXPECT_THROW((void)model::instance_from_string("{not json"),
+               util::JsonError);
+}
+
+TEST(StrategyIo, RoundTripPreservesEverything) {
+  const auto inst = model::make_instance(small_params(), 5);
+  util::Rng rng(5);
+  const auto original = core::IddeG().solve(inst, rng);
+  const auto copy =
+      core::strategy_from_string(inst, core::strategy_to_string(original));
+  EXPECT_EQ(copy.allocation, original.allocation);
+  EXPECT_EQ(copy.approach_name, original.approach_name);
+  EXPECT_EQ(copy.collaborative_delivery, original.collaborative_delivery);
+  EXPECT_EQ(copy.placements, original.placements);
+  for (std::size_t k = 0; k < inst.data_count(); ++k) {
+    ASSERT_EQ(copy.delivery.hosts(k).size(),
+              original.delivery.hosts(k).size());
+    for (std::size_t h = 0; h < copy.delivery.hosts(k).size(); ++h) {
+      EXPECT_EQ(copy.delivery.hosts(k)[h], original.delivery.hosts(k)[h]);
+    }
+  }
+  const auto ma = core::evaluate(inst, original);
+  const auto mb = core::evaluate(inst, copy);
+  EXPECT_DOUBLE_EQ(ma.avg_rate_mbps, mb.avg_rate_mbps);
+  EXPECT_DOUBLE_EQ(ma.avg_latency_ms, mb.avg_latency_ms);
+}
+
+TEST(StrategyIo, NonCollaborativeFlagSurvives) {
+  const auto inst = model::make_instance(small_params(), 6);
+  util::Rng rng(6);
+  core::Strategy s = core::IddeG().solve(inst, rng);
+  s.collaborative_delivery = false;
+  const auto copy =
+      core::strategy_from_string(inst, core::strategy_to_string(s));
+  EXPECT_FALSE(copy.collaborative_delivery);
+}
+
+TEST(StrategyIo, UnallocatedUsersSerialiseAsNull) {
+  const auto inst = model::make_instance(small_params(), 7);
+  core::Strategy s{core::AllocationProfile(inst.user_count(),
+                                           core::kUnallocated),
+                   core::DeliveryProfile(inst)};
+  const std::string text = core::strategy_to_string(s);
+  const auto copy = core::strategy_from_string(inst, text);
+  for (const auto& slot : copy.allocation) {
+    EXPECT_FALSE(slot.allocated());
+  }
+}
+
+TEST(StrategyIo, OverCapacityPlacementAborts) {
+  const auto inst = model::make_instance(small_params(), 8);
+  // Hand-craft a strategy that stores item 0 on server 0 twice.
+  const std::string bogus = R"({
+    "format": "idde-strategy-v1",
+    "approach": "hand",
+    "collaborative_delivery": true,
+    "allocation": [)" +
+      [&] {
+        std::string nulls;
+        for (std::size_t j = 0; j < inst.user_count(); ++j) {
+          if (j != 0) nulls += ",";
+          nulls += "null";
+        }
+        return nulls;
+      }() +
+      R"(],
+    "placements": [{"server":0,"item":0},{"server":0,"item":0}]
+  })";
+  EXPECT_DEATH((void)core::strategy_from_string(inst, bogus),
+               "infeasible placement");
+}
+
+}  // namespace

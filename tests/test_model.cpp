@@ -1,0 +1,263 @@
+// Request matrix, instance builder, instance invariants, validation and the
+// JSON scenario round-trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "model/instance_builder.hpp"
+#include "model/request_matrix.hpp"
+#include "model/validation.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace idde;
+using model::InstanceParams;
+using model::ProblemInstance;
+using model::RequestMatrix;
+
+InstanceParams small_params() {
+  InstanceParams p;
+  p.server_count = 10;
+  p.user_count = 40;
+  p.data_count = 4;
+  return p;
+}
+
+TEST(RequestMatrix, AddAndQuery) {
+  RequestMatrix m(3, 2);
+  EXPECT_FALSE(m.requests(0, 0));
+  m.add_request(0, 0);
+  m.add_request(2, 1);
+  EXPECT_TRUE(m.requests(0, 0));
+  EXPECT_TRUE(m.requests(2, 1));
+  EXPECT_FALSE(m.requests(1, 0));
+  EXPECT_EQ(m.total_requests(), 2u);
+}
+
+TEST(RequestMatrix, AddIsIdempotent) {
+  RequestMatrix m(2, 2);
+  m.add_request(1, 1);
+  m.add_request(1, 1);
+  EXPECT_EQ(m.total_requests(), 1u);
+  EXPECT_EQ(m.items_of(1).size(), 1u);
+  EXPECT_EQ(m.users_of(1).size(), 1u);
+}
+
+TEST(RequestMatrix, BidirectionalIndexesAgree) {
+  RequestMatrix m(4, 3);
+  m.add_request(0, 1);
+  m.add_request(1, 1);
+  m.add_request(1, 2);
+  m.add_request(3, 0);
+  std::size_t total_by_user = 0;
+  for (std::size_t j = 0; j < 4; ++j) total_by_user += m.items_of(j).size();
+  std::size_t total_by_item = 0;
+  for (std::size_t k = 0; k < 3; ++k) total_by_item += m.users_of(k).size();
+  EXPECT_EQ(total_by_user, m.total_requests());
+  EXPECT_EQ(total_by_item, m.total_requests());
+  EXPECT_EQ(m.users_of(1).size(), 2u);
+}
+
+TEST(InstanceBuilder, ShapesMatchParams) {
+  const ProblemInstance inst = model::make_instance(small_params(), 1);
+  EXPECT_EQ(inst.server_count(), 10u);
+  EXPECT_EQ(inst.user_count(), 40u);
+  EXPECT_EQ(inst.data_count(), 4u);
+  EXPECT_EQ(inst.graph().node_count(), 10u);
+  EXPECT_EQ(inst.radio_env().user_count, 40u);
+}
+
+TEST(InstanceBuilder, DeterministicPerSeed) {
+  const InstanceParams p = small_params();
+  const ProblemInstance a = model::make_instance(p, 7);
+  const ProblemInstance b = model::make_instance(p, 7);
+  for (std::size_t i = 0; i < a.server_count(); ++i) {
+    EXPECT_EQ(a.server(i).position, b.server(i).position);
+    EXPECT_DOUBLE_EQ(a.server(i).storage_mb, b.server(i).storage_mb);
+  }
+  for (std::size_t j = 0; j < a.user_count(); ++j) {
+    EXPECT_EQ(a.user(j).position, b.user(j).position);
+    EXPECT_DOUBLE_EQ(a.user(j).power_watts, b.user(j).power_watts);
+    EXPECT_EQ(a.requests().items_of(j).size(),
+              b.requests().items_of(j).size());
+  }
+  EXPECT_EQ(a.radio_env().gain, b.radio_env().gain);
+}
+
+TEST(InstanceBuilder, DifferentSeedsDiffer) {
+  const InstanceParams p = small_params();
+  const ProblemInstance a = model::make_instance(p, 1);
+  const ProblemInstance b = model::make_instance(p, 2);
+  bool any_difference = false;
+  for (std::size_t j = 0; j < a.user_count() && !any_difference; ++j) {
+    any_difference = !(a.user(j).position == b.user(j).position);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(InstanceBuilder, ValuesWithinPaperRanges) {
+  const ProblemInstance inst = model::make_instance(small_params(), 3);
+  for (const model::EdgeServer& s : inst.servers()) {
+    EXPECT_GE(s.storage_mb, 30.0);
+    EXPECT_LE(s.storage_mb, 300.0);
+    EXPECT_GE(s.coverage_radius_m, 100.0);
+    EXPECT_LE(s.coverage_radius_m, 200.0);
+  }
+  for (const model::User& u : inst.users()) {
+    EXPECT_GE(u.power_watts, 1.0);
+    EXPECT_LE(u.power_watts, 5.0);
+    EXPECT_GE(u.max_rate_mbps, 150.0);
+    EXPECT_LE(u.max_rate_mbps, 250.0);
+  }
+  const std::set<double> allowed{30.0, 60.0, 90.0};
+  for (const model::DataItem& d : inst.data_items()) {
+    EXPECT_TRUE(allowed.contains(d.size_mb));
+  }
+}
+
+TEST(InstanceBuilder, EveryUserRequestsSomething) {
+  const ProblemInstance inst = model::make_instance(small_params(), 4);
+  for (std::size_t j = 0; j < inst.user_count(); ++j) {
+    EXPECT_GE(inst.requests().items_of(j).size(), 1u);
+    EXPECT_LE(inst.requests().items_of(j).size(), 2u);
+  }
+}
+
+TEST(InstanceBuilder, CoverageSetsSortedAndGeometricallyCorrect) {
+  const ProblemInstance inst = model::make_instance(small_params(), 5);
+  for (std::size_t j = 0; j < inst.user_count(); ++j) {
+    const auto& covering = inst.covering_servers(j);
+    EXPECT_TRUE(std::is_sorted(covering.begin(), covering.end()));
+    // Exactness both ways against brute force.
+    for (std::size_t i = 0; i < inst.server_count(); ++i) {
+      const bool geometric =
+          geo::distance(inst.server(i).position, inst.user(j).position) <=
+          inst.server(i).coverage_radius_m;
+      const bool listed =
+          std::binary_search(covering.begin(), covering.end(), i);
+      EXPECT_EQ(geometric, listed) << "user " << j << " server " << i;
+    }
+  }
+}
+
+TEST(InstanceBuilder, CoveredUsersIsInverseOfCoveringServers) {
+  const ProblemInstance inst = model::make_instance(small_params(), 6);
+  for (std::size_t i = 0; i < inst.server_count(); ++i) {
+    for (const std::size_t j : inst.covered_users(i)) {
+      const auto& covering = inst.covering_servers(j);
+      EXPECT_TRUE(std::binary_search(covering.begin(), covering.end(), i));
+    }
+  }
+}
+
+TEST(InstanceBuilder, MostUsersCovered) {
+  // The coverage-aware sub-sampling should cover (nearly) all users at the
+  // paper's default scale.
+  InstanceParams p;
+  p.server_count = 30;
+  p.user_count = 200;
+  const ProblemInstance inst = model::make_instance(p, 7);
+  const model::CoverageStats stats = model::coverage_stats(inst);
+  EXPECT_EQ(stats.uncovered_users, 0u);
+  EXPECT_GE(stats.mean_coverage, 1.0);
+}
+
+TEST(InstanceBuilder, GraphConnectedAcrossDensities) {
+  for (const double density : {1.0, 1.8, 3.0}) {
+    InstanceParams p = small_params();
+    p.density = density;
+    const ProblemInstance inst = model::make_instance(p, 8);
+    EXPECT_TRUE(inst.graph().is_connected());
+  }
+}
+
+TEST(InstanceBuilder, AggregatesComputed) {
+  const ProblemInstance inst = model::make_instance(small_params(), 9);
+  double total = 0.0;
+  for (const auto& s : inst.servers()) total += s.storage_mb;
+  EXPECT_DOUBLE_EQ(inst.total_storage_mb(), total);
+  double mx = 0.0;
+  for (const auto& d : inst.data_items()) mx = std::max(mx, d.size_mb);
+  EXPECT_DOUBLE_EQ(inst.max_data_size_mb(), mx);
+}
+
+TEST(Validation, CleanInstancePasses) {
+  const ProblemInstance inst = model::make_instance(small_params(), 10);
+  EXPECT_TRUE(model::validate_instance(inst).empty());
+}
+
+TEST(Validation, CoverageStatsShape) {
+  const ProblemInstance inst = model::make_instance(small_params(), 11);
+  const model::CoverageStats stats = model::coverage_stats(inst);
+  EXPECT_LE(stats.uncovered_users, inst.user_count());
+  EXPECT_GE(stats.max_coverage, 1u);
+}
+
+TEST(Scenario, JsonRoundTripPreservesEverything) {
+  InstanceParams p = small_params();
+  p.density = 2.2;
+  p.channels_per_server = 4;
+  p.zipf_exponent = 1.1;
+  p.data_size_choices_mb = {10.0, 20.0};
+  p.eua.area_side_m = 1500.0;
+  const std::string text = sim::params_to_string(p);
+  const InstanceParams q = sim::params_from_string(text);
+  EXPECT_EQ(q.server_count, p.server_count);
+  EXPECT_EQ(q.user_count, p.user_count);
+  EXPECT_EQ(q.data_count, p.data_count);
+  EXPECT_DOUBLE_EQ(q.density, p.density);
+  EXPECT_EQ(q.channels_per_server, p.channels_per_server);
+  EXPECT_DOUBLE_EQ(q.zipf_exponent, p.zipf_exponent);
+  EXPECT_EQ(q.data_size_choices_mb, p.data_size_choices_mb);
+  EXPECT_DOUBLE_EQ(q.eua.area_side_m, p.eua.area_side_m);
+}
+
+TEST(Scenario, PartialJsonKeepsDefaults) {
+  const InstanceParams defaults;
+  const InstanceParams q =
+      sim::params_from_string(R"({"server_count": 12})");
+  EXPECT_EQ(q.server_count, 12u);
+  EXPECT_EQ(q.user_count, defaults.user_count);
+  EXPECT_DOUBLE_EQ(q.cloud_speed_mbps, defaults.cloud_speed_mbps);
+}
+
+TEST(Scenario, UnknownKeysIgnored) {
+  const InstanceParams q =
+      sim::params_from_string(R"({"bogus": 1, "user_count": 33})");
+  EXPECT_EQ(q.user_count, 33u);
+}
+
+TEST(Scenario, RoundTrippedParamsBuildIdenticalInstances) {
+  const InstanceParams p = small_params();
+  const InstanceParams q =
+      sim::params_from_string(sim::params_to_string(p));
+  const ProblemInstance a = model::make_instance(p, 99);
+  const ProblemInstance b = model::make_instance(q, 99);
+  EXPECT_EQ(a.radio_env().gain, b.radio_env().gain);
+  EXPECT_DOUBLE_EQ(a.total_storage_mb(), b.total_storage_mb());
+}
+
+// Sweep across the paper's N/M/K grid: instances must always validate.
+struct GridParam {
+  std::size_t n, m, k;
+};
+
+class InstanceGridTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(InstanceGridTest, BuildsValidInstances) {
+  const auto [n, m] = GetParam();
+  InstanceParams p;
+  p.server_count = n;
+  p.user_count = m;
+  const ProblemInstance inst = model::make_instance(p, 1234 + n + m);
+  EXPECT_TRUE(model::validate_instance(inst).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperGrid, InstanceGridTest,
+                         ::testing::Combine(::testing::Values(20, 35, 50),
+                                            ::testing::Values(50, 200, 350)));
+
+}  // namespace

@@ -1,0 +1,305 @@
+// Radio layer: unit conversions, path loss, and the incremental
+// interference field checked against the from-scratch reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "radio/interference.hpp"
+#include "radio/pathloss.hpp"
+#include "radio/units.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace idde::radio;
+using idde::util::Rng;
+
+TEST(Units, DbmWattsRoundTrip) {
+  EXPECT_NEAR(dbm_to_watts(30.0), 1.0, 1e-12);
+  EXPECT_NEAR(dbm_to_watts(0.0), 1e-3, 1e-15);
+  EXPECT_NEAR(watts_to_dbm(1.0), 30.0, 1e-9);
+  for (const double dbm : {-174.0, -90.0, -30.0, 0.0, 20.0}) {
+    EXPECT_NEAR(watts_to_dbm(dbm_to_watts(dbm)), dbm, 1e-9);
+  }
+}
+
+TEST(Units, PaperNoiseFloor) {
+  // -174 dBm ~ 3.98e-21 W.
+  EXPECT_NEAR(default_noise_watts(), 3.98e-21, 0.01e-21);
+}
+
+TEST(PathLoss, PowerLawDecay) {
+  const PathLossModel model(1.0, 3.0);
+  EXPECT_DOUBLE_EQ(model.gain(10.0), 1e-3);
+  EXPECT_DOUBLE_EQ(model.gain(100.0), 1e-6);
+  // Doubling distance with loss=3 cuts gain by 8.
+  EXPECT_NEAR(model.gain(20.0) / model.gain(10.0), 1.0 / 8.0, 1e-12);
+}
+
+TEST(PathLoss, EtaScalesLinearly) {
+  const PathLossModel a(1.0, 3.0);
+  const PathLossModel b(2.5, 3.0);
+  EXPECT_NEAR(b.gain(50.0) / a.gain(50.0), 2.5, 1e-12);
+}
+
+TEST(PathLoss, MinDistanceClampsGain) {
+  const PathLossModel model(1.0, 3.0, 5.0);
+  EXPECT_DOUBLE_EQ(model.gain(0.0), model.gain(5.0));
+  EXPECT_DOUBLE_EQ(model.gain(2.0), model.gain(5.0));
+  EXPECT_LT(model.gain(10.0), model.gain(5.0));
+}
+
+/// Builds a random radio environment with full coverage structure.
+RadioEnvironment make_env(std::size_t servers, std::size_t users,
+                          std::size_t channels, Rng& rng,
+                          double coverage_prob = 0.7) {
+  RadioEnvironment env;
+  env.server_count = servers;
+  env.user_count = users;
+  env.channels_per_server = channels;
+  env.noise_watts = default_noise_watts();
+  env.gain.resize(servers * users);
+  env.power.resize(users);
+  env.bandwidth.assign(servers * channels, 200.0);
+  for (std::size_t j = 0; j < users; ++j) {
+    env.power[j] = rng.uniform(1.0, 5.0);
+  }
+  for (std::size_t i = 0; i < servers; ++i) {
+    for (std::size_t j = 0; j < users; ++j) {
+      // Distances 50..250 m under eta=1, loss=3.
+      const double d = rng.uniform(50.0, 250.0);
+      env.gain[i * users + j] = std::pow(d, -3.0);
+    }
+  }
+  env.covering_servers.resize(users);
+  for (std::size_t j = 0; j < users; ++j) {
+    for (std::size_t i = 0; i < servers; ++i) {
+      if (rng.bernoulli(coverage_prob)) env.covering_servers[j].push_back(i);
+    }
+    if (env.covering_servers[j].empty()) {
+      env.covering_servers[j].push_back(rng.index(servers));
+    }
+  }
+  env.check();
+  return env;
+}
+
+/// Random allocation within coverage.
+std::vector<ChannelSlot> random_alloc(const RadioEnvironment& env, Rng& rng,
+                                      double allocate_prob = 0.9) {
+  std::vector<ChannelSlot> alloc(env.user_count, kUnallocated);
+  for (std::size_t j = 0; j < env.user_count; ++j) {
+    if (!rng.bernoulli(allocate_prob)) continue;
+    const auto& cov = env.covering_servers[j];
+    alloc[j] = ChannelSlot{cov[rng.index(cov.size())],
+                           rng.index(env.channels_per_server)};
+  }
+  return alloc;
+}
+
+TEST(InterferenceField, SingleUserSeesOnlyNoise) {
+  Rng rng(1);
+  const RadioEnvironment env = make_env(3, 1, 2, rng, 1.0);
+  InterferenceField field(env);
+  const ChannelSlot slot{0, 0};
+  const double expected =
+      env.gain_at(0, 0) * env.power[0] / env.noise_watts;
+  EXPECT_NEAR(field.sinr(0, slot) / expected, 1.0, 1e-9);
+}
+
+TEST(InterferenceField, InCellInterferenceReducesSinr) {
+  Rng rng(2);
+  const RadioEnvironment env = make_env(2, 3, 2, rng, 1.0);
+  InterferenceField field(env);
+  const ChannelSlot slot{0, 0};
+  const double alone = field.sinr(0, slot);
+  field.add_user(1, slot);  // same channel
+  const double with_one = field.sinr(0, slot);
+  field.add_user(2, slot);
+  const double with_two = field.sinr(0, slot);
+  EXPECT_GT(alone, with_one);
+  EXPECT_GT(with_one, with_two);
+}
+
+TEST(InterferenceField, DifferentChannelNoInCellInterference) {
+  Rng rng(3);
+  const RadioEnvironment env = make_env(1, 2, 2, rng, 1.0);
+  InterferenceField field(env);
+  const double alone = field.sinr(0, {0, 0});
+  field.add_user(1, {0, 1});  // other channel, same (only) server
+  EXPECT_NEAR(field.sinr(0, {0, 0}), alone, alone * 1e-12);
+}
+
+TEST(InterferenceField, CrossCellInterferenceOnlyOnSameChannelIndex) {
+  Rng rng(4);
+  const RadioEnvironment env = make_env(2, 2, 2, rng, 1.0);
+  InterferenceField field(env);
+  const double alone = field.sinr(0, {0, 0});
+  field.add_user(1, {1, 0});  // other covering server, same channel index
+  EXPECT_LT(field.sinr(0, {0, 0}), alone);
+  field.move_user(1, {1, 1});  // other channel index: interference gone
+  EXPECT_NEAR(field.sinr(0, {0, 0}), alone, alone * 1e-12);
+}
+
+TEST(InterferenceField, RemoveRestoresState) {
+  Rng rng(5);
+  const RadioEnvironment env = make_env(4, 6, 3, rng);
+  InterferenceField field(env);
+  const ChannelSlot probe{env.covering_servers[0][0], 0};
+  const double before = field.sinr(0, probe);
+  field.add_user(1, ChannelSlot{env.covering_servers[1][0], 0});
+  field.add_user(2, ChannelSlot{env.covering_servers[2][0], 0});
+  field.remove_user(1);
+  field.remove_user(2);
+  EXPECT_NEAR(field.sinr(0, probe), before, std::abs(before) * 1e-9);
+  EXPECT_FALSE(field.slot_of(1).allocated());
+}
+
+TEST(InterferenceField, RemoveUnallocatedIsNoop) {
+  Rng rng(6);
+  const RadioEnvironment env = make_env(2, 2, 2, rng);
+  InterferenceField field(env);
+  field.remove_user(0);  // must not abort
+  EXPECT_FALSE(field.slot_of(0).allocated());
+}
+
+TEST(InterferenceField, ClearResetsEverything) {
+  Rng rng(7);
+  const RadioEnvironment env = make_env(3, 5, 2, rng);
+  InterferenceField field(env);
+  const auto alloc = random_alloc(env, rng, 1.0);
+  for (std::size_t j = 0; j < env.user_count; ++j) {
+    field.add_user(j, alloc[j]);
+  }
+  field.clear();
+  for (std::size_t i = 0; i < env.server_count; ++i) {
+    for (std::size_t x = 0; x < env.channels_per_server; ++x) {
+      EXPECT_DOUBLE_EQ(field.channel_power(i, x), 0.0);
+    }
+  }
+  for (std::size_t j = 0; j < env.user_count; ++j) {
+    EXPECT_FALSE(field.slot_of(j).allocated());
+  }
+}
+
+TEST(InterferenceField, ChannelPowerTracksMembers) {
+  Rng rng(8);
+  const RadioEnvironment env = make_env(2, 4, 2, rng, 1.0);
+  InterferenceField field(env);
+  field.add_user(0, {0, 0});
+  field.add_user(1, {0, 0});
+  field.add_user(2, {0, 1});
+  EXPECT_NEAR(field.channel_power(0, 0), env.power[0] + env.power[1], 1e-12);
+  EXPECT_NEAR(field.channel_power(0, 1), env.power[2], 1e-12);
+  EXPECT_DOUBLE_EQ(field.channel_power(1, 0), 0.0);
+}
+
+TEST(InterferenceField, HypotheticalEvaluationExcludesSelf) {
+  Rng rng(9);
+  const RadioEnvironment env = make_env(2, 2, 2, rng, 1.0);
+  InterferenceField field(env);
+  // User 0 allocated at (0,0); probing (1,0) must not count user 0's own
+  // transmission as cross-cell interference against itself.
+  field.add_user(0, {0, 0});
+  const double probe_with_self_present = field.sinr(0, {1, 0});
+  field.remove_user(0);
+  const double probe_clean = field.sinr(0, {1, 0});
+  EXPECT_NEAR(probe_with_self_present, probe_clean,
+              std::abs(probe_clean) * 1e-9);
+}
+
+TEST(InterferenceField, RateIsShannon) {
+  Rng rng(10);
+  const RadioEnvironment env = make_env(2, 3, 2, rng, 1.0);
+  InterferenceField field(env);
+  field.add_user(1, {0, 0});
+  const ChannelSlot slot{0, 0};
+  const double r = field.sinr(0, slot);
+  EXPECT_NEAR(field.rate(0, slot), 200.0 * std::log2(1.0 + r), 1e-9);
+}
+
+TEST(InterferenceField, BenefitMatchesEq12Shape) {
+  Rng rng(11);
+  const RadioEnvironment env = make_env(1, 2, 1, rng, 1.0);
+  InterferenceField field(env);
+  // Alone: beta = g p / (g p) = 1.
+  EXPECT_NEAR(field.benefit(0, {0, 0}), 1.0, 1e-12);
+  field.add_user(1, {0, 0});
+  // With a peer on the channel: beta = p0 / (p0 + p1) (gains cancel).
+  EXPECT_NEAR(field.benefit(0, {0, 0}),
+              env.power[0] / (env.power[0] + env.power[1]), 1e-12);
+}
+
+TEST(InterferenceField, BenefitBoundedByOne) {
+  Rng rng(12);
+  const RadioEnvironment env = make_env(4, 10, 3, rng);
+  InterferenceField field(env);
+  const auto alloc = random_alloc(env, rng);
+  for (std::size_t j = 0; j < env.user_count; ++j) {
+    if (alloc[j].allocated()) field.add_user(j, alloc[j]);
+  }
+  for (std::size_t j = 0; j < env.user_count; ++j) {
+    for (const std::size_t i : env.covering_servers[j]) {
+      for (std::size_t x = 0; x < env.channels_per_server; ++x) {
+        const double b = field.benefit(j, {i, x});
+        EXPECT_GT(b, 0.0);
+        EXPECT_LE(b, 1.0 + 1e-12);
+      }
+    }
+  }
+}
+
+// Property: the incremental field agrees with the from-scratch reference
+// for every user and candidate slot, across random allocation histories
+// (adds, removes, moves).
+class FieldVsReferenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FieldVsReferenceTest, AgreesAfterRandomHistory) {
+  Rng rng(GetParam());
+  const std::size_t servers = 2 + rng.index(5);
+  const std::size_t users = 3 + rng.index(12);
+  const std::size_t channels = 1 + rng.index(3);
+  const RadioEnvironment env = make_env(servers, users, channels, rng);
+  InterferenceField field(env);
+  std::vector<ChannelSlot> shadow(users, kUnallocated);
+
+  // Random mutation history.
+  for (int step = 0; step < 200; ++step) {
+    const std::size_t j = rng.index(users);
+    const int op = static_cast<int>(rng.index(3));
+    if (op == 0 && !shadow[j].allocated()) {
+      const auto& cov = env.covering_servers[j];
+      const ChannelSlot slot{cov[rng.index(cov.size())],
+                             rng.index(channels)};
+      field.add_user(j, slot);
+      shadow[j] = slot;
+    } else if (op == 1 && shadow[j].allocated()) {
+      field.remove_user(j);
+      shadow[j] = kUnallocated;
+    } else {
+      const auto& cov = env.covering_servers[j];
+      const ChannelSlot slot{cov[rng.index(cov.size())],
+                             rng.index(channels)};
+      field.move_user(j, slot);
+      shadow[j] = slot;
+    }
+  }
+
+  // Full agreement check.
+  for (std::size_t j = 0; j < users; ++j) {
+    for (const std::size_t i : env.covering_servers[j]) {
+      for (std::size_t x = 0; x < channels; ++x) {
+        const ChannelSlot slot{i, x};
+        const double fast = field.sinr(j, slot);
+        const double slow = sinr_reference(env, shadow, j, slot);
+        EXPECT_NEAR(fast / slow, 1.0, 1e-6)
+            << "user " << j << " slot (" << i << "," << x << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FieldVsReferenceTest,
+                         ::testing::Range<std::uint64_t>(100, 112));
+
+}  // namespace

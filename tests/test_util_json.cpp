@@ -1,0 +1,126 @@
+// JSON parser / writer round-trip and error tests.
+#include <gtest/gtest.h>
+
+#include "util/json.hpp"
+
+namespace {
+
+using idde::util::Json;
+using idde::util::JsonArray;
+using idde::util::JsonError;
+using idde::util::JsonObject;
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  const Json v = Json::parse("  {\n\t\"a\" : [ 1 , 2 ] }  ");
+  EXPECT_EQ(v.at("a").as_array().size(), 2u);
+}
+
+TEST(JsonParse, NestedStructures) {
+  const Json v = Json::parse(R"({"a":{"b":[1,{"c":true}]}})");
+  EXPECT_TRUE(v.at("a").at("b").as_array()[1].at("c").as_bool());
+}
+
+TEST(JsonParse, StringEscapes) {
+  const Json v = Json::parse(R"("line\nbreak \"quoted\" \\ \t A")");
+  EXPECT_EQ(v.as_string(), "line\nbreak \"quoted\" \\ \t A");
+}
+
+TEST(JsonParse, UnicodeBmpEscapes) {
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");   // é
+  EXPECT_EQ(Json::parse(R"("€")").as_string(), "\xe2\x82\xac");  // €
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_TRUE(Json::parse("[]").as_array().empty());
+  EXPECT_TRUE(Json::parse("{}").as_object().empty());
+}
+
+TEST(JsonParse, ErrorsThrow) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("tru"), JsonError);
+  EXPECT_THROW(Json::parse("1 2"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), JsonError);
+  EXPECT_THROW(Json::parse(R"("\ud800")"), JsonError);  // surrogate
+}
+
+TEST(JsonDump, CompactRoundTrip) {
+  const std::string text =
+      R"({"arr":[1,2.5,"x"],"flag":true,"nested":{"z":null}})";
+  const Json v = Json::parse(text);
+  EXPECT_EQ(Json::parse(v.dump()), v);
+}
+
+TEST(JsonDump, IntegersStayIntegral) {
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+}
+
+TEST(JsonDump, PrettyIndentHasNewlines) {
+  const Json v = Json::parse(R"({"a":[1]})");
+  const std::string pretty = v.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(Json::parse(pretty), v);
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+  const Json v(std::string("a\nb\x01"));
+  const std::string dumped = v.dump();
+  EXPECT_NE(dumped.find("\\n"), std::string::npos);
+  EXPECT_NE(dumped.find("\\u0001"), std::string::npos);
+  EXPECT_EQ(Json::parse(dumped), v);
+}
+
+TEST(JsonAccess, TypeMismatchThrows) {
+  const Json v(1.5);
+  EXPECT_THROW((void)v.as_string(), JsonError);
+  EXPECT_THROW((void)v.as_array(), JsonError);
+  EXPECT_THROW((void)v.as_object(), JsonError);
+  EXPECT_THROW((void)v.as_bool(), JsonError);
+  EXPECT_THROW((void)Json("x").as_number(), JsonError);
+}
+
+TEST(JsonAccess, AtAndFind) {
+  const Json v = Json::parse(R"({"x":1})");
+  EXPECT_DOUBLE_EQ(v.at("x").as_number(), 1.0);
+  EXPECT_THROW((void)v.at("missing"), JsonError);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_NE(v.find("x"), nullptr);
+  EXPECT_EQ(Json(1.0).find("x"), nullptr);  // non-object
+}
+
+TEST(JsonAccess, DefaultingAccessors) {
+  const Json v = Json::parse(R"({"n":3,"s":"str","b":true})");
+  EXPECT_DOUBLE_EQ(v.number_or("n", -1.0), 3.0);
+  EXPECT_DOUBLE_EQ(v.number_or("missing", -1.0), -1.0);
+  EXPECT_EQ(v.int_or("n", -1), 3);
+  EXPECT_EQ(v.string_or("s", "d"), "str");
+  EXPECT_EQ(v.string_or("n", "d"), "d");  // wrong type -> default
+  EXPECT_TRUE(v.bool_or("b", false));
+  EXPECT_FALSE(v.bool_or("n", false));
+}
+
+TEST(JsonEquality, DeepCompare) {
+  EXPECT_EQ(Json::parse("[1,[2,3]]"), Json::parse("[1,[2,3]]"));
+  EXPECT_NE(Json::parse("[1,[2,3]]"), Json::parse("[1,[2,4]]"));
+}
+
+TEST(JsonBuild, ProgrammaticConstruction) {
+  JsonObject obj;
+  obj.emplace("k", Json(JsonArray{Json(1), Json("two")}));
+  const Json v(std::move(obj));
+  EXPECT_EQ(v.at("k").as_array()[1].as_string(), "two");
+}
+
+}  // namespace

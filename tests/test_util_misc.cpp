@@ -1,0 +1,265 @@
+// Tests for format, CSV, tables, CLI, thread pool, env knobs and timers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/env.hpp"
+#include "util/format.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace idde::util;
+
+TEST(Format, BasicSubstitution) {
+  EXPECT_EQ(format("a={} b={}", 1, "x"), "a=1 b=x");
+}
+
+TEST(Format, NoPlaceholders) { EXPECT_EQ(format("plain"), "plain"); }
+
+TEST(Format, ExtraArgumentsDropped) {
+  EXPECT_EQ(format("only {}", 1, 2, 3), "only 1");
+}
+
+TEST(Format, MissingArgumentsLeaveBraces) {
+  EXPECT_EQ(format("a={} b={}", 7), "a=7 b={}");
+}
+
+TEST(Format, FloatingPointUsesG) {
+  EXPECT_EQ(format("{}", 2.5), "2.5");
+  EXPECT_EQ(format("{}", 0.1), "0.1");
+}
+
+TEST(Format, BoolAndChar) {
+  EXPECT_EQ(format("{} {}", true, 'z'), "true z");
+}
+
+TEST(Format, FixedPrecision) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+TEST(Format, PadRight) {
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+}
+
+TEST(Csv, EscapesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WriterEmitsHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  csv.start_row().add("x").add(1.5);
+  csv.start_row().add(std::string_view("y,z")).add(2LL);
+  EXPECT_EQ(out.str(), "a,b\nx,1.5\n\"y,z\",2\n");
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable table({"name", "v"});
+  table.start_row().add("long-name").add(1);
+  table.start_row().add("s").add(22);
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("| name      | v "), std::string::npos);
+  EXPECT_NE(text.find("| long-name | 1 "), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, NumericPrecision) {
+  TextTable table({"x"});
+  table.start_row().add(3.14159, 3);
+  EXPECT_NE(table.to_string().find("3.142"), std::string::npos);
+}
+
+TEST(Cli, ParsesAllKinds) {
+  int i = 1;
+  std::size_t z = 2;
+  double d = 3.0;
+  std::string s = "def";
+  bool flag = false;
+  CliParser cli("test");
+  cli.add_int("i", &i, "int");
+  cli.add_size("z", &z, "size");
+  cli.add_double("d", &d, "double");
+  cli.add_string("s", &s, "string");
+  cli.add_flag("flag", &flag, "flag");
+  const char* argv[] = {"prog", "--i=5", "--z", "9", "--d=2.5",
+                        "--s", "hello", "--flag"};
+  EXPECT_TRUE(cli.parse(8, argv));
+  EXPECT_EQ(i, 5);
+  EXPECT_EQ(z, 9u);
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(flag);
+}
+
+TEST(Cli, DefaultsSurviveNoArgs) {
+  int i = 7;
+  CliParser cli("test");
+  cli.add_int("i", &i, "int");
+  const char* argv[] = {"prog"};
+  EXPECT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(i, 7);
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "--nope"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, BadValueThrows) {
+  int i = 0;
+  CliParser cli("test");
+  cli.add_int("i", &i, "int");
+  const char* argv[] = {"prog", "--i=abc"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  int i = 0;
+  CliParser cli("test");
+  cli.add_int("i", &i, "int");
+  const char* argv[] = {"prog", "--i"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, BoolValueForms) {
+  bool f = true;
+  CliParser cli("test");
+  cli.add_flag("f", &f, "flag");
+  const char* argv[] = {"prog", "--f=false"};
+  EXPECT_TRUE(cli.parse(2, argv));
+  EXPECT_FALSE(f);
+}
+
+TEST(Cli, UsageListsOptions) {
+  int i = 3;
+  CliParser cli("my tool");
+  cli.add_int("iterations", &i, "how many");
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("my tool"), std::string::npos);
+  EXPECT_NE(usage.find("iterations"), std::string::npos);
+  EXPECT_NE(usage.find("default: 3"), std::string::npos);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  parallel_for(pool, 50, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 10,
+                            [](std::size_t i) {
+                              if (i == 3) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SingleThreadStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  parallel_for(pool, 10, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(Env, FallbacksWhenUnset) {
+  ::unsetenv("IDDE_TEST_VAR");
+  EXPECT_EQ(env_or("IDDE_TEST_VAR", "fb"), "fb");
+  EXPECT_EQ(env_int_or("IDDE_TEST_VAR", 3), 3);
+  EXPECT_DOUBLE_EQ(env_double_or("IDDE_TEST_VAR", 1.5), 1.5);
+}
+
+TEST(Env, ReadsValues) {
+  ::setenv("IDDE_TEST_VAR", "17", 1);
+  EXPECT_EQ(env_int_or("IDDE_TEST_VAR", 3), 17);
+  ::setenv("IDDE_TEST_VAR", "2.25", 1);
+  EXPECT_DOUBLE_EQ(env_double_or("IDDE_TEST_VAR", 0.0), 2.25);
+  ::setenv("IDDE_TEST_VAR", "garbage", 1);
+  EXPECT_EQ(env_int_or("IDDE_TEST_VAR", 3), 3);
+  ::unsetenv("IDDE_TEST_VAR");
+}
+
+TEST(Env, RepKnobs) {
+  ::unsetenv("IDDE_REPS");
+  EXPECT_EQ(experiment_reps(10), 10);
+  ::setenv("IDDE_REPS", "4", 1);
+  EXPECT_EQ(experiment_reps(10), 4);
+  ::unsetenv("IDDE_REPS");
+  ::unsetenv("IDDE_IP_BUDGET_MS");
+  EXPECT_DOUBLE_EQ(ip_budget_ms(200.0), 200.0);
+  ::setenv("IDDE_IP_BUDGET_MS", "50", 1);
+  EXPECT_DOUBLE_EQ(ip_budget_ms(200.0), 50.0);
+  ::unsetenv("IDDE_IP_BUDGET_MS");
+}
+
+TEST(Timer, StopwatchAdvances) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GE(sw.elapsed_seconds(), 0.0);
+  EXPECT_GE(sw.elapsed_ms(), 0.0);
+}
+
+TEST(Timer, DeadlineZeroOrNegativeNeverExpires) {
+  const Deadline d(-1.0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_ms(), 1e9);
+}
+
+TEST(Timer, DeadlineExpires) {
+  const Deadline d(0.001);
+  volatile double sink = 0.0;
+  for (int i = 0; i < 1000000; ++i) sink = sink + 1.0;
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(Logging, LevelsParseAndGate) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("???"), LogLevel::kInfo);
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kOff);
+  log_error("this must be suppressed {}", 1);  // must not crash
+  set_log_level(original);
+}
+
+}  // namespace

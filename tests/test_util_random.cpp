@@ -1,0 +1,281 @@
+// Determinism, range and distribution-shape tests for the RNG substrate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace {
+
+using idde::util::Rng;
+using idde::util::SplitMix64;
+using idde::util::Xoshiro256;
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, SameSeedSameStream) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, ForkIsIndependentOfParentUse) {
+  Xoshiro256 a(7);
+  const Xoshiro256 child_before = a.fork(3);
+  a();  // advancing the parent after forking must not change the child
+  Xoshiro256 child_copy = child_before;
+  Xoshiro256 again = Xoshiro256(7).fork(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child_copy(), again());
+}
+
+TEST(Xoshiro256, ForksWithDifferentIdsDiverge) {
+  Xoshiro256 a(7);
+  Xoshiro256 f1 = a.fork(1);
+  Xoshiro256 f2 = a.fork(2);
+  EXPECT_NE(f1(), f2());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 7.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversFullRangeInclusive) {
+  Rng rng(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 9);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, IndexStaysBelowBound) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.index(17), 17u);
+}
+
+TEST(Rng, IndexIsApproximatelyUniform) {
+  Rng rng(7);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.index(8)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 8.0, 0.05 * n / 8.0);
+  }
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.02);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(10);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParamsShiftsAndScales) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(12);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialIsNonNegative) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.exponential(0.5), 0.0);
+}
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng rng(14);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(15);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalPath) {
+  Rng rng(16);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(Rng, ZipfRankZeroMostPopular) {
+  Rng rng(17);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.zipf(5, 1.0)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[4]);
+}
+
+TEST(Rng, ZipfExponentZeroIsUniform) {
+  Rng rng(18);
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.zipf(4, 0.0)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 4.0, 0.05 * n / 4.0);
+  }
+}
+
+TEST(Rng, ZipfSingletonAlwaysZero) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.zipf(1, 2.0), 0u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(20);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(21);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  const std::vector<int> original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // probability of identity is ~1/50!
+}
+
+TEST(Rng, SampleIndicesAreDistinctAndInRange) {
+  Rng rng(22);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = rng.sample_indices(20, 8);
+    EXPECT_EQ(sample.size(), 8u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 8u);
+    for (const std::size_t s : sample) EXPECT_LT(s, 20u);
+  }
+}
+
+TEST(Rng, SampleAllIsPermutation) {
+  Rng rng(23);
+  auto sample = rng.sample_indices(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, SampleZeroIsEmpty) {
+  Rng rng(24);
+  EXPECT_TRUE(rng.sample_indices(5, 0).empty());
+}
+
+TEST(Rng, PickReturnsMemberAndCoversAll) {
+  Rng rng(25);
+  const std::vector<int> items{10, 20, 30};
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.pick(items));
+  EXPECT_EQ(seen, (std::set<int>{10, 20, 30}));
+}
+
+TEST(Rng, ForkedStreamsAreReproducible) {
+  Rng a(99);
+  Rng b(99);
+  Rng fa = a.fork(5);
+  Rng fb = b.fork(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa.uniform(), fb.uniform());
+}
+
+// Property sweep: bounded draws stay unbiased across bound sizes.
+class BoundedDrawTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BoundedDrawTest, ChiSquaredWithinTolerance) {
+  const std::size_t buckets = GetParam();
+  Rng rng(1000 + buckets);
+  std::vector<double> counts(buckets, 0.0);
+  const std::size_t n = 20000 * buckets;
+  for (std::size_t i = 0; i < n; ++i) ++counts[rng.index(buckets)];
+  const double expected = static_cast<double>(n) / buckets;
+  double chi2 = 0.0;
+  for (const double c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // dof = buckets-1; mean dof, stddev sqrt(2*dof): allow 6 sigma.
+  const double dof = static_cast<double>(buckets - 1);
+  EXPECT_LT(chi2, dof + 6.0 * std::sqrt(2.0 * dof) + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, BoundedDrawTest,
+                         ::testing::Values(2, 3, 7, 10, 16, 33, 100));
+
+}  // namespace

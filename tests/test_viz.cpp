@@ -1,0 +1,101 @@
+// ASCII map rendering: structure, glyph precedence, allocation view.
+#include <gtest/gtest.h>
+
+#include "core/game.hpp"
+#include "model/instance_builder.hpp"
+#include "sim/paper.hpp"
+#include "viz/ascii_map.hpp"
+
+namespace {
+
+using namespace idde;
+
+model::InstanceParams small_params() {
+  model::InstanceParams p = sim::paper_default_params();
+  p.server_count = 8;
+  p.user_count = 25;
+  p.data_count = 3;
+  return p;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) break;
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+TEST(AsciiMap, GridDimensionsMatchOptions) {
+  const auto inst = model::make_instance(small_params(), 1);
+  viz::MapOptions options;
+  options.width_chars = 40;
+  options.height_chars = 12;
+  const auto lines = lines_of(viz::render_map(inst, options));
+  // border + 12 rows + border + legend
+  ASSERT_GE(lines.size(), 15u);
+  EXPECT_EQ(lines[0].size(), 42u);  // width + 2 border chars
+  for (std::size_t r = 1; r <= 12; ++r) {
+    EXPECT_EQ(lines[r].size(), 42u);
+    EXPECT_EQ(lines[r].front(), '|');
+    EXPECT_EQ(lines[r].back(), '|');
+  }
+}
+
+TEST(AsciiMap, ContainsServersAndUsers) {
+  const auto inst = model::make_instance(small_params(), 2);
+  const std::string map = viz::render_map(inst);
+  EXPECT_NE(map.find('#'), std::string::npos);
+  EXPECT_NE(map.find('+'), std::string::npos);
+  EXPECT_NE(map.find("edge server (8)"), std::string::npos);
+}
+
+TEST(AsciiMap, CoverageToggle) {
+  const auto inst = model::make_instance(small_params(), 3);
+  viz::MapOptions with;
+  viz::MapOptions without;
+  without.show_coverage = false;
+  const std::string map_with = viz::render_map(inst, with);
+  // Count shading dots inside the grid only (legend also contains '.').
+  const auto count_dots = [](const std::string& map) {
+    std::size_t dots = 0;
+    for (const std::string& line : lines_of(map)) {
+      if (line.empty() || line.front() != '|') continue;
+      for (const char c : line) dots += c == '.' ? 1 : 0;
+    }
+    return dots;
+  };
+  EXPECT_GT(count_dots(map_with), 0u);
+  EXPECT_EQ(count_dots(viz::render_map(inst, without)), 0u);
+}
+
+TEST(AsciiMap, AllocationViewUsesLettersAndQuestionMarks) {
+  const auto inst = model::make_instance(small_params(), 4);
+  core::AllocationProfile alloc =
+      core::IddeUGame(inst).run().allocation;
+  // Force one unallocated user for the '?' glyph.
+  alloc[0] = core::kUnallocated;
+  viz::MapOptions options;
+  options.allocation = &alloc;
+  const std::string map = viz::render_map(inst, options);
+  bool has_letter = false;
+  for (const std::string& line : lines_of(map)) {
+    if (line.empty() || line.front() != '|') continue;
+    for (const char c : line) {
+      if (c >= 'a' && c <= 'z') has_letter = true;
+    }
+  }
+  EXPECT_TRUE(has_letter);
+  EXPECT_NE(map.find("? unallocated"), std::string::npos);
+}
+
+TEST(AsciiMap, DeterministicOutput) {
+  const auto inst = model::make_instance(small_params(), 5);
+  EXPECT_EQ(viz::render_map(inst), viz::render_map(inst));
+}
+
+}  // namespace
