@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_game_rules.dir/bench/ablation_game_rules.cpp.o"
+  "CMakeFiles/ablation_game_rules.dir/bench/ablation_game_rules.cpp.o.d"
+  "bench/ablation_game_rules"
+  "bench/ablation_game_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_game_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_greedy.dir/bench/ablation_greedy.cpp.o"
+  "CMakeFiles/ablation_greedy.dir/bench/ablation_greedy.cpp.o.d"
+  "bench/ablation_greedy"
+  "bench/ablation_greedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sinr.dir/bench/ablation_sinr.cpp.o"
+  "CMakeFiles/ablation_sinr.dir/bench/ablation_sinr.cpp.o.d"
+  "bench/ablation_sinr"
+  "bench/ablation_sinr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sinr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_contention.dir/bench/ext_contention.cpp.o"
+  "CMakeFiles/ext_contention.dir/bench/ext_contention.cpp.o.d"
+  "bench/ext_contention"
+  "bench/ext_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_refinement.dir/bench/ext_refinement.cpp.o"
+  "CMakeFiles/ext_refinement.dir/bench/ext_refinement.cpp.o.d"
+  "bench/ext_refinement"
+  "bench/ext_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_servers.dir/bench/fig3_servers.cpp.o"
+  "CMakeFiles/fig3_servers.dir/bench/fig3_servers.cpp.o.d"
+  "bench/fig3_servers"
+  "bench/fig3_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_users.dir/bench/fig4_users.cpp.o"
+  "CMakeFiles/fig4_users.dir/bench/fig4_users.cpp.o.d"
+  "bench/fig4_users"
+  "bench/fig4_users.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

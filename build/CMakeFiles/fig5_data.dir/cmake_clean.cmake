@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_data.dir/bench/fig5_data.cpp.o"
+  "CMakeFiles/fig5_data.dir/bench/fig5_data.cpp.o.d"
+  "bench/fig5_data"
+  "bench/fig5_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_density.dir/bench/fig6_density.cpp.o"
+  "CMakeFiles/fig6_density.dir/bench/fig6_density.cpp.o.d"
+  "bench/fig6_density"
+  "bench/fig6_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_time.dir/bench/fig7_time.cpp.o"
+  "CMakeFiles/fig7_time.dir/bench/fig7_time.cpp.o.d"
+  "bench/fig7_time"
+  "bench/fig7_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

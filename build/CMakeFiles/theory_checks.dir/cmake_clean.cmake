@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_checks.dir/bench/theory_checks.cpp.o"
+  "CMakeFiles/theory_checks.dir/bench/theory_checks.cpp.o.d"
+  "bench/theory_checks"
+  "bench/theory_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_scale.dir/city_scale.cpp.o"
+  "CMakeFiles/city_scale.dir/city_scale.cpp.o.d"
+  "city_scale"
+  "city_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

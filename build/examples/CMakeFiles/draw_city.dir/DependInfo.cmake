@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/draw_city.cpp" "examples/CMakeFiles/draw_city.dir/draw_city.cpp.o" "gcc" "examples/CMakeFiles/draw_city.dir/draw_city.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/idde_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/idde_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/idde_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/idde_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/idde_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/idde_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/idde_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/idde_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/idde_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/idde_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

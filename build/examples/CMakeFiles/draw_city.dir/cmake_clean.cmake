@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draw_city.dir/draw_city.cpp.o"
+  "CMakeFiles/draw_city.dir/draw_city.cpp.o.d"
+  "draw_city"
+  "draw_city.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draw_city.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geo")
+subdirs("net")
+subdirs("radio")
+subdirs("model")
+subdirs("core")
+subdirs("solver")
+subdirs("baselines")
+subdirs("sim")
+subdirs("dynamic")
+subdirs("viz")
+subdirs("des")

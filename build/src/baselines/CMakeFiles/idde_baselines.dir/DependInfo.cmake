@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/allocators.cpp" "src/baselines/CMakeFiles/idde_baselines.dir/allocators.cpp.o" "gcc" "src/baselines/CMakeFiles/idde_baselines.dir/allocators.cpp.o.d"
+  "/root/repo/src/baselines/cdp.cpp" "src/baselines/CMakeFiles/idde_baselines.dir/cdp.cpp.o" "gcc" "src/baselines/CMakeFiles/idde_baselines.dir/cdp.cpp.o.d"
+  "/root/repo/src/baselines/dup_g.cpp" "src/baselines/CMakeFiles/idde_baselines.dir/dup_g.cpp.o" "gcc" "src/baselines/CMakeFiles/idde_baselines.dir/dup_g.cpp.o.d"
+  "/root/repo/src/baselines/idde_ip.cpp" "src/baselines/CMakeFiles/idde_baselines.dir/idde_ip.cpp.o" "gcc" "src/baselines/CMakeFiles/idde_baselines.dir/idde_ip.cpp.o.d"
+  "/root/repo/src/baselines/local_placement.cpp" "src/baselines/CMakeFiles/idde_baselines.dir/local_placement.cpp.o" "gcc" "src/baselines/CMakeFiles/idde_baselines.dir/local_placement.cpp.o.d"
+  "/root/repo/src/baselines/saa.cpp" "src/baselines/CMakeFiles/idde_baselines.dir/saa.cpp.o" "gcc" "src/baselines/CMakeFiles/idde_baselines.dir/saa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/idde_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/idde_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/idde_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/idde_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/idde_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/idde_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/idde_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

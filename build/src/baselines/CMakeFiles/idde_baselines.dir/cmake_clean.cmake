@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idde_baselines.dir/allocators.cpp.o"
+  "CMakeFiles/idde_baselines.dir/allocators.cpp.o.d"
+  "CMakeFiles/idde_baselines.dir/cdp.cpp.o"
+  "CMakeFiles/idde_baselines.dir/cdp.cpp.o.d"
+  "CMakeFiles/idde_baselines.dir/dup_g.cpp.o"
+  "CMakeFiles/idde_baselines.dir/dup_g.cpp.o.d"
+  "CMakeFiles/idde_baselines.dir/idde_ip.cpp.o"
+  "CMakeFiles/idde_baselines.dir/idde_ip.cpp.o.d"
+  "CMakeFiles/idde_baselines.dir/local_placement.cpp.o"
+  "CMakeFiles/idde_baselines.dir/local_placement.cpp.o.d"
+  "CMakeFiles/idde_baselines.dir/saa.cpp.o"
+  "CMakeFiles/idde_baselines.dir/saa.cpp.o.d"
+  "libidde_baselines.a"
+  "libidde_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idde_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/delivery.cpp" "src/core/CMakeFiles/idde_core.dir/delivery.cpp.o" "gcc" "src/core/CMakeFiles/idde_core.dir/delivery.cpp.o.d"
+  "/root/repo/src/core/fairness.cpp" "src/core/CMakeFiles/idde_core.dir/fairness.cpp.o" "gcc" "src/core/CMakeFiles/idde_core.dir/fairness.cpp.o.d"
+  "/root/repo/src/core/game.cpp" "src/core/CMakeFiles/idde_core.dir/game.cpp.o" "gcc" "src/core/CMakeFiles/idde_core.dir/game.cpp.o.d"
+  "/root/repo/src/core/greedy_delivery.cpp" "src/core/CMakeFiles/idde_core.dir/greedy_delivery.cpp.o" "gcc" "src/core/CMakeFiles/idde_core.dir/greedy_delivery.cpp.o.d"
+  "/root/repo/src/core/idde_g.cpp" "src/core/CMakeFiles/idde_core.dir/idde_g.cpp.o" "gcc" "src/core/CMakeFiles/idde_core.dir/idde_g.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/idde_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/idde_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/potential.cpp" "src/core/CMakeFiles/idde_core.dir/potential.cpp.o" "gcc" "src/core/CMakeFiles/idde_core.dir/potential.cpp.o.d"
+  "/root/repo/src/core/refinement.cpp" "src/core/CMakeFiles/idde_core.dir/refinement.cpp.o" "gcc" "src/core/CMakeFiles/idde_core.dir/refinement.cpp.o.d"
+  "/root/repo/src/core/strategy_io.cpp" "src/core/CMakeFiles/idde_core.dir/strategy_io.cpp.o" "gcc" "src/core/CMakeFiles/idde_core.dir/strategy_io.cpp.o.d"
+  "/root/repo/src/core/validation.cpp" "src/core/CMakeFiles/idde_core.dir/validation.cpp.o" "gcc" "src/core/CMakeFiles/idde_core.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/idde_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/idde_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/idde_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/idde_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/idde_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idde_core.dir/delivery.cpp.o"
+  "CMakeFiles/idde_core.dir/delivery.cpp.o.d"
+  "CMakeFiles/idde_core.dir/fairness.cpp.o"
+  "CMakeFiles/idde_core.dir/fairness.cpp.o.d"
+  "CMakeFiles/idde_core.dir/game.cpp.o"
+  "CMakeFiles/idde_core.dir/game.cpp.o.d"
+  "CMakeFiles/idde_core.dir/greedy_delivery.cpp.o"
+  "CMakeFiles/idde_core.dir/greedy_delivery.cpp.o.d"
+  "CMakeFiles/idde_core.dir/idde_g.cpp.o"
+  "CMakeFiles/idde_core.dir/idde_g.cpp.o.d"
+  "CMakeFiles/idde_core.dir/metrics.cpp.o"
+  "CMakeFiles/idde_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/idde_core.dir/potential.cpp.o"
+  "CMakeFiles/idde_core.dir/potential.cpp.o.d"
+  "CMakeFiles/idde_core.dir/refinement.cpp.o"
+  "CMakeFiles/idde_core.dir/refinement.cpp.o.d"
+  "CMakeFiles/idde_core.dir/strategy_io.cpp.o"
+  "CMakeFiles/idde_core.dir/strategy_io.cpp.o.d"
+  "CMakeFiles/idde_core.dir/validation.cpp.o"
+  "CMakeFiles/idde_core.dir/validation.cpp.o.d"
+  "libidde_core.a"
+  "libidde_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idde_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

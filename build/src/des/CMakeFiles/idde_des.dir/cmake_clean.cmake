@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idde_des.dir/flow_sim.cpp.o"
+  "CMakeFiles/idde_des.dir/flow_sim.cpp.o.d"
+  "libidde_des.a"
+  "libidde_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idde_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dynamic/churn.cpp" "src/dynamic/CMakeFiles/idde_dynamic.dir/churn.cpp.o" "gcc" "src/dynamic/CMakeFiles/idde_dynamic.dir/churn.cpp.o.d"
+  "/root/repo/src/dynamic/migration.cpp" "src/dynamic/CMakeFiles/idde_dynamic.dir/migration.cpp.o" "gcc" "src/dynamic/CMakeFiles/idde_dynamic.dir/migration.cpp.o.d"
+  "/root/repo/src/dynamic/mobility.cpp" "src/dynamic/CMakeFiles/idde_dynamic.dir/mobility.cpp.o" "gcc" "src/dynamic/CMakeFiles/idde_dynamic.dir/mobility.cpp.o.d"
+  "/root/repo/src/dynamic/simulation.cpp" "src/dynamic/CMakeFiles/idde_dynamic.dir/simulation.cpp.o" "gcc" "src/dynamic/CMakeFiles/idde_dynamic.dir/simulation.cpp.o.d"
+  "/root/repo/src/dynamic/world.cpp" "src/dynamic/CMakeFiles/idde_dynamic.dir/world.cpp.o" "gcc" "src/dynamic/CMakeFiles/idde_dynamic.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/idde_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/idde_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/idde_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/idde_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/idde_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/idde_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

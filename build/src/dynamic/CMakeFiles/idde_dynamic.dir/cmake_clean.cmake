@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idde_dynamic.dir/churn.cpp.o"
+  "CMakeFiles/idde_dynamic.dir/churn.cpp.o.d"
+  "CMakeFiles/idde_dynamic.dir/migration.cpp.o"
+  "CMakeFiles/idde_dynamic.dir/migration.cpp.o.d"
+  "CMakeFiles/idde_dynamic.dir/mobility.cpp.o"
+  "CMakeFiles/idde_dynamic.dir/mobility.cpp.o.d"
+  "CMakeFiles/idde_dynamic.dir/simulation.cpp.o"
+  "CMakeFiles/idde_dynamic.dir/simulation.cpp.o.d"
+  "CMakeFiles/idde_dynamic.dir/world.cpp.o"
+  "CMakeFiles/idde_dynamic.dir/world.cpp.o.d"
+  "libidde_dynamic.a"
+  "libidde_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idde_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

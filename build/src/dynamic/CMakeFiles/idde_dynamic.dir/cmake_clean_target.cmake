@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libidde_dynamic.a"
+)

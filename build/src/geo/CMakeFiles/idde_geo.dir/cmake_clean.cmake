@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idde_geo.dir/eua.cpp.o"
+  "CMakeFiles/idde_geo.dir/eua.cpp.o.d"
+  "CMakeFiles/idde_geo.dir/generators.cpp.o"
+  "CMakeFiles/idde_geo.dir/generators.cpp.o.d"
+  "CMakeFiles/idde_geo.dir/spatial_grid.cpp.o"
+  "CMakeFiles/idde_geo.dir/spatial_grid.cpp.o.d"
+  "libidde_geo.a"
+  "libidde_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idde_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

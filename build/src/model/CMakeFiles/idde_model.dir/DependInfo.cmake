@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/instance.cpp" "src/model/CMakeFiles/idde_model.dir/instance.cpp.o" "gcc" "src/model/CMakeFiles/idde_model.dir/instance.cpp.o.d"
+  "/root/repo/src/model/instance_builder.cpp" "src/model/CMakeFiles/idde_model.dir/instance_builder.cpp.o" "gcc" "src/model/CMakeFiles/idde_model.dir/instance_builder.cpp.o.d"
+  "/root/repo/src/model/instance_io.cpp" "src/model/CMakeFiles/idde_model.dir/instance_io.cpp.o" "gcc" "src/model/CMakeFiles/idde_model.dir/instance_io.cpp.o.d"
+  "/root/repo/src/model/request_matrix.cpp" "src/model/CMakeFiles/idde_model.dir/request_matrix.cpp.o" "gcc" "src/model/CMakeFiles/idde_model.dir/request_matrix.cpp.o.d"
+  "/root/repo/src/model/validation.cpp" "src/model/CMakeFiles/idde_model.dir/validation.cpp.o" "gcc" "src/model/CMakeFiles/idde_model.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/idde_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/idde_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/idde_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/idde_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

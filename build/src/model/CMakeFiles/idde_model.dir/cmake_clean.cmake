@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idde_model.dir/instance.cpp.o"
+  "CMakeFiles/idde_model.dir/instance.cpp.o.d"
+  "CMakeFiles/idde_model.dir/instance_builder.cpp.o"
+  "CMakeFiles/idde_model.dir/instance_builder.cpp.o.d"
+  "CMakeFiles/idde_model.dir/instance_io.cpp.o"
+  "CMakeFiles/idde_model.dir/instance_io.cpp.o.d"
+  "CMakeFiles/idde_model.dir/request_matrix.cpp.o"
+  "CMakeFiles/idde_model.dir/request_matrix.cpp.o.d"
+  "CMakeFiles/idde_model.dir/validation.cpp.o"
+  "CMakeFiles/idde_model.dir/validation.cpp.o.d"
+  "libidde_model.a"
+  "libidde_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idde_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

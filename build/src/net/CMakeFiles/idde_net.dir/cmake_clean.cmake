@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idde_net.dir/graph.cpp.o"
+  "CMakeFiles/idde_net.dir/graph.cpp.o.d"
+  "CMakeFiles/idde_net.dir/graph_gen.cpp.o"
+  "CMakeFiles/idde_net.dir/graph_gen.cpp.o.d"
+  "CMakeFiles/idde_net.dir/latency.cpp.o"
+  "CMakeFiles/idde_net.dir/latency.cpp.o.d"
+  "CMakeFiles/idde_net.dir/shortest_path.cpp.o"
+  "CMakeFiles/idde_net.dir/shortest_path.cpp.o.d"
+  "CMakeFiles/idde_net.dir/wan_profile.cpp.o"
+  "CMakeFiles/idde_net.dir/wan_profile.cpp.o.d"
+  "libidde_net.a"
+  "libidde_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idde_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

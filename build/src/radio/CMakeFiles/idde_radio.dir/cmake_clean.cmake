@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idde_radio.dir/interference.cpp.o"
+  "CMakeFiles/idde_radio.dir/interference.cpp.o.d"
+  "CMakeFiles/idde_radio.dir/pathloss.cpp.o"
+  "CMakeFiles/idde_radio.dir/pathloss.cpp.o.d"
+  "libidde_radio.a"
+  "libidde_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idde_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idde_sim.dir/paper.cpp.o"
+  "CMakeFiles/idde_sim.dir/paper.cpp.o.d"
+  "CMakeFiles/idde_sim.dir/report.cpp.o"
+  "CMakeFiles/idde_sim.dir/report.cpp.o.d"
+  "CMakeFiles/idde_sim.dir/runner.cpp.o"
+  "CMakeFiles/idde_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/idde_sim.dir/scenario.cpp.o"
+  "CMakeFiles/idde_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/idde_sim.dir/sweep.cpp.o"
+  "CMakeFiles/idde_sim.dir/sweep.cpp.o.d"
+  "libidde_sim.a"
+  "libidde_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idde_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idde_solver.dir/exhaustive.cpp.o"
+  "CMakeFiles/idde_solver.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/idde_solver.dir/joint_search.cpp.o"
+  "CMakeFiles/idde_solver.dir/joint_search.cpp.o.d"
+  "CMakeFiles/idde_solver.dir/placement_bnb.cpp.o"
+  "CMakeFiles/idde_solver.dir/placement_bnb.cpp.o.d"
+  "libidde_solver.a"
+  "libidde_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idde_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idde_util.dir/cli.cpp.o"
+  "CMakeFiles/idde_util.dir/cli.cpp.o.d"
+  "CMakeFiles/idde_util.dir/csv.cpp.o"
+  "CMakeFiles/idde_util.dir/csv.cpp.o.d"
+  "CMakeFiles/idde_util.dir/env.cpp.o"
+  "CMakeFiles/idde_util.dir/env.cpp.o.d"
+  "CMakeFiles/idde_util.dir/json.cpp.o"
+  "CMakeFiles/idde_util.dir/json.cpp.o.d"
+  "CMakeFiles/idde_util.dir/logging.cpp.o"
+  "CMakeFiles/idde_util.dir/logging.cpp.o.d"
+  "CMakeFiles/idde_util.dir/random.cpp.o"
+  "CMakeFiles/idde_util.dir/random.cpp.o.d"
+  "CMakeFiles/idde_util.dir/stats.cpp.o"
+  "CMakeFiles/idde_util.dir/stats.cpp.o.d"
+  "CMakeFiles/idde_util.dir/table.cpp.o"
+  "CMakeFiles/idde_util.dir/table.cpp.o.d"
+  "CMakeFiles/idde_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/idde_util.dir/thread_pool.cpp.o.d"
+  "libidde_util.a"
+  "libidde_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idde_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idde_viz.dir/ascii_map.cpp.o"
+  "CMakeFiles/idde_viz.dir/ascii_map.cpp.o.d"
+  "libidde_viz.a"
+  "libidde_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idde_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_delivery.dir/test_core_delivery.cpp.o"
+  "CMakeFiles/test_core_delivery.dir/test_core_delivery.cpp.o.d"
+  "test_core_delivery"
+  "test_core_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_game.dir/test_core_game.cpp.o"
+  "CMakeFiles/test_core_game.dir/test_core_game.cpp.o.d"
+  "test_core_game"
+  "test_core_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

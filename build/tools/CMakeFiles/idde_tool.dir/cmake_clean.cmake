@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idde_tool.dir/idde_tool.cpp.o"
+  "CMakeFiles/idde_tool.dir/idde_tool.cpp.o.d"
+  "idde_tool"
+  "idde_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idde_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
