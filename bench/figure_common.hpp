@@ -6,6 +6,8 @@
 //   IDDE_REPS          repetitions per sweep point (default 5; paper: 50)
 //   IDDE_IP_BUDGET_MS  IDDE-IP anytime budget in ms (default 200; the paper
 //                      capped CPLEX at 100 s of search)
+//   IDDE_GAME_THREADS  GameOptions::threads for IDDE-G/DUP-G (default 1;
+//                      repetitions already run in parallel)
 //   IDDE_CSV_DIR       if set, also writes <figure>.csv there
 #pragma once
 
@@ -31,13 +33,14 @@ inline int run_figure_set(const sim::PaperSet& set,
       "Running %s (%s): %d repetitions/point, IDDE-IP budget %.0f ms\n\n",
       set.name.c_str(), set.figure.c_str(), reps, ip_budget);
 
-  const auto approaches = sim::make_paper_approaches(ip_budget);
   sim::SweepOptions options;
   options.repetitions = reps;
+  options.ip_budget_ms = ip_budget;
+  options.game_threads = util::game_threads(1);
   options.on_point = [](const sim::PointResult& point) {
     std::fprintf(stderr, "  done %s\n", point.label.c_str());
   };
-  const auto results = sim::run_sweep(set.points, approaches, options);
+  const auto results = sim::run_paper_sweep(set.points, options);
 
   std::printf("%s(a)  Average Data Rate R_avg (MB/s) vs %s\n",
               set.figure.c_str(), set.x_label.c_str());

@@ -23,6 +23,9 @@ idde_gbench(ablation_greedy)
 idde_gbench(ablation_sinr)
 idde_gbench(ablation_game_rules)
 
+# Engine microbenchmarks (BENCH_*.json trajectories).
+idde_bench(perf_game)
+
 # Extension benches (paper future work).
 idde_bench(ext_mobility)
 target_link_libraries(ext_mobility PRIVATE idde_dynamic)

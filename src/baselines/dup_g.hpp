@@ -18,8 +18,11 @@ namespace idde::baselines {
 
 class DupG final : public core::Approach {
  public:
-  explicit DupG(core::UpdateRule rule = core::UpdateRule::kBestImprovement)
-      : rule_(rule) {}
+  /// `game_threads` is forwarded to GameOptions::threads for the step-2
+  /// allocation game (1 = serial, 0 = hardware concurrency).
+  explicit DupG(core::UpdateRule rule = core::UpdateRule::kBestImprovement,
+                std::size_t game_threads = 1)
+      : rule_(rule), game_threads_(game_threads) {}
 
   [[nodiscard]] std::string name() const override { return "DUP-G"; }
 
@@ -28,6 +31,7 @@ class DupG final : public core::Approach {
 
  private:
   core::UpdateRule rule_;
+  std::size_t game_threads_;
 };
 
 }  // namespace idde::baselines

@@ -1,7 +1,11 @@
 #include "core/game.hpp"
 
+#include <atomic>
+#include <memory>
+
 #include "util/assert.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace idde::core {
 
@@ -16,6 +20,7 @@ IddeUGame::BestResponse IddeUGame::best_response(
     const radio::InterferenceField& field, std::size_t user,
     std::size_t* evaluations) const {
   BestResponse best;
+  std::size_t count = 0;
   const std::size_t channels = instance_->radio_env().channels_per_server;
   const auto& servers = options_.candidate_servers != nullptr
                             ? (*options_.candidate_servers)[user]
@@ -24,12 +29,13 @@ IddeUGame::BestResponse IddeUGame::best_response(
     for (std::size_t channel = 0; channel < channels; ++channel) {
       const ChannelSlot slot{server, channel};
       const double benefit = field.benefit(user, slot);
-      ++*evaluations;
+      ++count;
       if (benefit > best.benefit) {
         best = BestResponse{slot, benefit};
       }
     }
   }
+  if (evaluations != nullptr) *evaluations += count;
   return best;
 }
 
@@ -39,6 +45,10 @@ GameResult IddeUGame::run() {
 
 GameResult IddeUGame::run_from(const AllocationProfile& start) {
   IDDE_EXPECTS(start.size() == instance_->user_count());
+  return options_.incremental ? run_incremental(start) : run_full_scan(start);
+}
+
+GameResult IddeUGame::run_full_scan(const AllocationProfile& start) {
   radio::InterferenceField field(instance_->radio_env());
   for (std::size_t j = 0; j < start.size(); ++j) {
     if (start[j].allocated()) field.add_user(j, start[j]);
@@ -140,8 +150,193 @@ GameResult IddeUGame::run_from(const AllocationProfile& start) {
         result.frozen_users, options_.max_moves_per_user);
   }
   result.allocation.resize(user_count);
+  result.final_benefits.resize(user_count, 0.0);
   for (std::size_t j = 0; j < user_count; ++j) {
     result.allocation[j] = field.slot_of(j);
+    if (result.allocation[j].allocated()) {
+      result.final_benefits[j] = field.benefit(j, result.allocation[j]);
+    }
+  }
+  return result;
+}
+
+GameResult IddeUGame::run_incremental(const AllocationProfile& start) {
+  radio::InterferenceField field(instance_->radio_env());
+  for (std::size_t j = 0; j < start.size(); ++j) {
+    if (start[j].allocated()) field.add_user(j, start[j]);
+  }
+
+  GameResult result;
+  const std::size_t user_count = instance_->user_count();
+  const double eps = options_.improvement_epsilon;
+  std::vector<std::size_t> moves_of(user_count, 0);
+  const auto movable = [&](std::size_t j) {
+    return moves_of[j] < options_.max_moves_per_user;
+  };
+  const auto record_move = [&](std::size_t j) {
+    if (++moves_of[j] == options_.max_moves_per_user) ++result.frozen_users;
+  };
+
+  std::unique_ptr<util::ThreadPool> pool;
+  if (options_.threads != 1 && user_count > 1) {
+    pool = std::make_unique<util::ThreadPool>(options_.threads);
+  }
+
+  // The cache: each user's best response and current benefit against the
+  // field state at its last refresh. A user is dirty iff a later move may
+  // have invalidated either value — it covers the vacated or entered
+  // server (so some candidate shares a channel index with a perturbed
+  // slot) or it is the mover itself. Everyone starts dirty.
+  std::vector<BestResponse> cached(user_count);
+  std::vector<double> current(user_count, 0.0);
+  std::vector<char> dirty(user_count, 1);
+  std::vector<std::size_t> dirty_list;
+  dirty_list.reserve(user_count);
+
+  const auto evaluate_user = [&](std::size_t j, std::size_t* evaluations) {
+    cached[j] = best_response(field, j, evaluations);
+    const ChannelSlot slot = field.slot_of(j);
+    current[j] = slot.allocated() ? field.benefit(j, slot) : 0.0;
+  };
+
+  // Below this many dirty users a pool dispatch costs more than the
+  // evaluations themselves (one mutex/condvar round-trip per lane); the
+  // steady-state dirty set after a move is usually this small.
+  constexpr std::size_t kMinParallelBatch = 64;
+
+  // Re-evaluates every dirty movable user (frozen users never move again,
+  // so their cache entries are dead). The field is read-only here, which
+  // makes the fan-out embarrassingly parallel; results land in distinct
+  // cache slots, so no synchronisation beyond the evaluation counter.
+  const auto refresh_dirty = [&] {
+    dirty_list.clear();
+    for (std::size_t j = 0; j < user_count; ++j) {
+      if (dirty[j] != 0 && movable(j)) dirty_list.push_back(j);
+    }
+    if (pool != nullptr && dirty_list.size() >= kMinParallelBatch) {
+      std::atomic<std::size_t> evaluations{0};
+      util::parallel_for(*pool, dirty_list.size(), [&](std::size_t idx) {
+        std::size_t local = 0;
+        evaluate_user(dirty_list[idx], &local);
+        evaluations.fetch_add(local, std::memory_order_relaxed);
+      });
+      result.benefit_evaluations += evaluations.load();
+    } else {
+      for (const std::size_t j : dirty_list) {
+        evaluate_user(j, &result.benefit_evaluations);
+      }
+    }
+    for (const std::size_t j : dirty_list) dirty[j] = 0;
+  };
+
+  // Dirty-set invariant: the applied move perturbed exactly the two slots
+  // in the field's delta report, so a user's cache survives unless its
+  // coverage reaches one of those servers (all of its candidates and both
+  // interference terms read only slots at covering servers) or it moved.
+  const auto apply_move = [&](std::size_t j, ChannelSlot slot) {
+    field.move_user(j, slot);
+    const radio::MoveDelta& delta = field.last_move();
+    dirty[delta.user] = 1;
+    if (delta.from.allocated()) {
+      for (const std::size_t u : instance_->covered_users(delta.from.server)) {
+        dirty[u] = 1;
+      }
+    }
+    if (delta.to.allocated()) {
+      for (const std::size_t u : instance_->covered_users(delta.to.server)) {
+        dirty[u] = 1;
+      }
+    }
+    record_move(j);
+    ++result.moves;
+  };
+
+  while (result.rounds < options_.max_rounds) {
+    ++result.rounds;
+    bool moved = false;
+
+    switch (options_.rule) {
+      case UpdateRule::kBestImprovement: {
+        refresh_dirty();
+        // Same winner scan as the full engine, over cached candidates:
+        // strict > keeps the lowest index among equal gains.
+        std::size_t winner = ChannelSlot::kNone;
+        double winner_gain = eps;
+        for (std::size_t j = 0; j < user_count; ++j) {
+          if (!movable(j)) continue;
+          if (!cached[j].slot.allocated()) continue;
+          const double gain = cached[j].benefit - current[j];
+          if (gain > winner_gain) {
+            winner_gain = gain;
+            winner = j;
+          }
+        }
+        if (winner != ChannelSlot::kNone) {
+          apply_move(winner, cached[winner].slot);
+          moved = true;
+        }
+        break;
+      }
+      case UpdateRule::kFirstImprovement: {
+        refresh_dirty();
+        for (std::size_t j = 0; j < user_count && !moved; ++j) {
+          if (!movable(j)) continue;
+          if (!cached[j].slot.allocated()) continue;
+          if (cached[j].benefit - current[j] > eps) {
+            apply_move(j, cached[j].slot);
+            moved = true;
+          }
+        }
+        break;
+      }
+      case UpdateRule::kAsyncSweep: {
+        // Moves mutate the field mid-sweep, so evaluation is inherently
+        // sequential here; with a pool we still batch the dirty set
+        // accumulated since the last sweep, then lazily re-evaluate users
+        // re-dirtied by this sweep's earlier moves at their turn.
+        if (pool != nullptr) refresh_dirty();
+        for (std::size_t j = 0; j < user_count; ++j) {
+          if (!movable(j)) continue;
+          if (dirty[j] != 0) {
+            evaluate_user(j, &result.benefit_evaluations);
+            dirty[j] = 0;
+          }
+          if (!cached[j].slot.allocated()) continue;
+          if (cached[j].benefit - current[j] > eps) {
+            apply_move(j, cached[j].slot);
+            moved = true;
+          }
+        }
+        break;
+      }
+    }
+
+    if (!moved) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  if (!result.converged) {
+    util::log_warn("IDDE-U game hit the round cap ({} rounds, {} moves)",
+                   result.rounds, result.moves);
+  }
+  if (result.frozen_users > 0) {
+    util::log_debug(
+        "IDDE-U game froze {} cycling users after {} moves each",
+        result.frozen_users, options_.max_moves_per_user);
+  }
+  result.allocation.resize(user_count);
+  result.final_benefits.resize(user_count, 0.0);
+  for (std::size_t j = 0; j < user_count; ++j) {
+    const ChannelSlot slot = field.slot_of(j);
+    result.allocation[j] = slot;
+    if (!slot.allocated()) continue;
+    // Serve from the cache where it is warm; frozen users are skipped by
+    // refresh_dirty and may be stale, so recompute those.
+    result.final_benefits[j] = (dirty[j] == 0 && movable(j))
+                                   ? current[j]
+                                   : field.benefit(j, slot);
   }
   return result;
 }

@@ -10,10 +10,24 @@
 //                       (many moves per round; rounds == sweeps).
 // All three converge on potential-game instances; kAsyncSweep is the
 // fastest wall-clock and kBestImprovement matches Algorithm 1 literally.
+//
+// Engine: by default the game runs *incrementally*. One applied move
+// perturbs exactly two channel slots (the mover's old and new one — see
+// radio::MoveDelta), so a user's cached best response stays exact unless
+// the user covers the vacated or entered server, or is the mover itself.
+// The engine keeps a dirty set seeded from InterferenceField::last_move()
+// and ProblemInstance::covered_users(); clean users reuse their cached
+// BestResponse with zero SINR work. Dirty users can be re-evaluated in
+// parallel on a util::ThreadPool (the field is read-only between moves).
+// Both knobs are pure caching/scheduling layers: for every update rule and
+// any thread count the move sequence is bit-identical to the serial
+// full-scan engine (`incremental = false`), which is retained as the
+// oracle for tests and bench/perf_game.
 #pragma once
 
 #include <cstddef>
 #include <limits>
+#include <vector>
 
 #include "core/strategy.hpp"
 #include "model/instance.hpp"
@@ -40,6 +54,14 @@ struct GameOptions {
   /// many moves. Empirically users move 1-4 times before equilibrium, so
   /// the budget only engages on cycling instances.
   std::size_t max_moves_per_user = 32;
+  /// Dirty-set caching of best responses (see file comment). Disable to
+  /// get the original full-scan loop — the oracle the incremental path is
+  /// validated against.
+  bool incremental = true;
+  /// Worker threads for re-evaluating the dirty set: 1 = serial (default),
+  /// 0 = hardware concurrency, n = exactly n workers. Only engages on the
+  /// incremental path; the move sequence is identical for every value.
+  std::size_t threads = 1;
 };
 
 struct GameResult {
@@ -52,6 +74,10 @@ struct GameResult {
   /// instances; > 0 means the returned profile is only an approximate
   /// equilibrium).
   std::size_t frozen_users = 0;
+  /// Benefit (Eq. 12) of each user at its final slot, 0 when unallocated.
+  /// On the incremental path these come from the engine's cache, so tests
+  /// can cross-check them against a from-scratch recomputation.
+  std::vector<double> final_benefits;
 };
 
 class IddeUGame {
@@ -73,9 +99,17 @@ class IddeUGame {
   };
 
   /// Best candidate in delta_j over covering servers x channels.
+  /// `evaluations` may be null when the caller does not track the count.
   [[nodiscard]] BestResponse best_response(
       const radio::InterferenceField& field, std::size_t user,
       std::size_t* evaluations) const;
+
+  /// The seed engine: re-evaluates every user each round. Oracle for the
+  /// incremental path; selected with GameOptions::incremental = false.
+  [[nodiscard]] GameResult run_full_scan(const AllocationProfile& start);
+
+  /// Dirty-set (+ optional thread fan-out) engine; same move sequences.
+  [[nodiscard]] GameResult run_incremental(const AllocationProfile& start);
 
   const model::ProblemInstance* instance_;
   GameOptions options_;

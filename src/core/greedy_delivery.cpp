@@ -34,7 +34,12 @@ GreedyDeliveryResult GreedyDeliveryPlanner::plan(
   GreedyDeliveryResult result{DeliveryProfile(instance), 0, 0};
   DeliveryEvaluator evaluator(instance, allocation);
 
-  std::priority_queue<Candidate> heap;
+  // The initial fill pushes up to S*K candidates; reserving the backing
+  // vector once avoids log(S*K) reallocations of the heap mid-fill.
+  std::vector<Candidate> storage;
+  storage.reserve(instance.server_count() * instance.data_count());
+  std::priority_queue<Candidate> heap(std::less<Candidate>{},
+                                      std::move(storage));
   for (std::size_t i = 0; i < instance.server_count(); ++i) {
     for (std::size_t k = 0; k < instance.data_count(); ++k) {
       if (!result.delivery.can_place(i, k)) continue;

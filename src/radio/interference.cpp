@@ -33,7 +33,8 @@ InterferenceField::InterferenceField(const RadioEnvironment& env)
       power_sum_(env.server_count * env.channels_per_server, 0.0),
       received_(env.server_count * env.channels_per_server * env.server_count,
                 0.0),
-      users_on_(env.server_count * env.channels_per_server, 0) {}
+      users_on_(env.server_count * env.channels_per_server, 0),
+      slot_version_(env.server_count * env.channels_per_server, 0) {}
 
 void InterferenceField::add_user(std::size_t user, ChannelSlot slot) {
   IDDE_EXPECTS(user < env_->user_count);
@@ -50,6 +51,8 @@ void InterferenceField::add_user(std::size_t user, ChannelSlot slot) {
   for (std::size_t i = 0; i < env_->server_count; ++i) {
     recv_row[i] += env_->gain_at(i, user) * p;
   }
+  ++slot_version_[chan_index(slot)];
+  last_move_ = MoveDelta{user, kUnallocated, slot, ++version_};
 }
 
 void InterferenceField::remove_user(std::size_t user) {
@@ -69,11 +72,17 @@ void InterferenceField::remove_user(std::size_t user) {
     for (std::size_t i = 0; i < env_->server_count; ++i) recv_row[i] = 0.0;
   }
   allocation_[user] = kUnallocated;
+  ++slot_version_[chan_index(slot)];
+  last_move_ = MoveDelta{user, slot, kUnallocated, ++version_};
 }
 
 void InterferenceField::move_user(std::size_t user, ChannelSlot slot) {
+  const ChannelSlot from = allocation_[user];
   remove_user(user);
   if (slot.allocated()) add_user(user, slot);
+  // Report remove + add as one delta so consumers see both perturbed slots.
+  last_move_ = MoveDelta{user, from, slot.allocated() ? slot : kUnallocated,
+                         version_};
 }
 
 void InterferenceField::clear() {
@@ -81,6 +90,9 @@ void InterferenceField::clear() {
   std::fill(received_.begin(), received_.end(), 0.0);
   std::fill(allocation_.begin(), allocation_.end(), kUnallocated);
   std::fill(users_on_.begin(), users_on_.end(), 0);
+  for (std::uint64_t& v : slot_version_) ++v;
+  last_move_ = MoveDelta{ChannelSlot::kNone, kUnallocated, kUnallocated,
+                         ++version_};
 }
 
 double InterferenceField::in_cell_power_excluding(std::size_t user,
@@ -168,6 +180,31 @@ double sinr_reference(const RadioEnvironment& env,
     }
   }
   return g * env.power[user] / (g * in_cell + cross + env.noise_watts);
+}
+
+double benefit_reference(const RadioEnvironment& env,
+                         std::span<const ChannelSlot> allocation,
+                         std::size_t user, ChannelSlot slot) {
+  IDDE_EXPECTS(allocation.size() == env.user_count);
+  IDDE_EXPECTS(slot.allocated());
+  const double g = env.gain_at(slot.server, user);
+  // Eq. (12): the in-cell sum includes u_j's own power and there is no
+  // noise term (cf. benefit() on the incremental field).
+  double in_cell = env.power[user];
+  double cross = 0.0;
+  const auto& covering = env.covering_servers[user];
+  for (std::size_t t = 0; t < env.user_count; ++t) {
+    if (t == user) continue;
+    const ChannelSlot ts = allocation[t];
+    if (!ts.allocated() || ts.channel != slot.channel) continue;
+    if (ts.server == slot.server) {
+      in_cell += env.power[t];
+    } else if (std::binary_search(covering.begin(), covering.end(),
+                                  ts.server)) {
+      cross += env.gain_at(slot.server, t) * env.power[t];
+    }
+  }
+  return g * env.power[user] / (g * in_cell + cross);
 }
 
 }  // namespace idde::radio

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -66,6 +67,17 @@ struct ChannelSlot {
 
 inline constexpr ChannelSlot kUnallocated{};
 
+/// Delta report of the field's most recent mutation. A mutation perturbs at
+/// most two channel slots (`from` and `to`); every cached quantity that
+/// depends only on *other* slots is still valid afterwards — the invariant
+/// the game's incremental dirty-set tracking is built on.
+struct MoveDelta {
+  std::size_t user = ChannelSlot::kNone;
+  ChannelSlot from = kUnallocated;  ///< slot vacated (kUnallocated on add)
+  ChannelSlot to = kUnallocated;    ///< slot entered (kUnallocated on remove)
+  std::uint64_t version = 0;        ///< field version after the mutation
+};
+
 class InterferenceField {
  public:
   /// The environment must outlive the field.
@@ -103,6 +115,24 @@ class InterferenceField {
 
   [[nodiscard]] const RadioEnvironment& env() const noexcept { return *env_; }
 
+  /// Monotone mutation counter: bumped once per add/remove (twice per move).
+  /// Equal versions imply an identical field; consumers cache against it.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  /// Per-channel-slot version: bumped whenever the slot's power sum or
+  /// received-power row changes. A cached evaluation that only read slots
+  /// whose versions are unchanged is still exact.
+  [[nodiscard]] std::uint64_t slot_version(ChannelSlot slot) const {
+    IDDE_EXPECTS(slot.allocated());
+    return slot_version_[chan_index(slot)];
+  }
+
+  /// The most recent mutation (user == ChannelSlot::kNone before the first
+  /// one and after clear()). move_user reports one combined delta.
+  [[nodiscard]] const MoveDelta& last_move() const noexcept {
+    return last_move_;
+  }
+
  private:
   /// F_{i,x,j} with user j's own contribution excluded.
   [[nodiscard]] double cross_cell_interference(std::size_t user,
@@ -127,6 +157,10 @@ class InterferenceField {
   /// (~1e-21 W) are otherwise the same order as the -174 dBm noise floor
   /// and would corrupt SINRs on quiet channels.
   std::vector<std::size_t> users_on_;
+  /// Change tracking (see version()/slot_version()/last_move()).
+  std::uint64_t version_ = 0;
+  std::vector<std::uint64_t> slot_version_;
+  MoveDelta last_move_;
 };
 
 /// From-scratch SINR evaluation used as a test oracle and ablation baseline:
@@ -134,5 +168,12 @@ class InterferenceField {
 [[nodiscard]] double sinr_reference(const RadioEnvironment& env,
                                     std::span<const ChannelSlot> allocation,
                                     std::size_t user, ChannelSlot slot);
+
+/// From-scratch game-benefit (Eq. 12) evaluation, derived the same way as
+/// sinr_reference: full power sum (own power included), no noise term. Test
+/// oracle for InterferenceField::benefit and the game's cached responses.
+[[nodiscard]] double benefit_reference(const RadioEnvironment& env,
+                                       std::span<const ChannelSlot> allocation,
+                                       std::size_t user, ChannelSlot slot);
 
 }  // namespace idde::radio

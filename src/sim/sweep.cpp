@@ -64,4 +64,11 @@ std::vector<PointResult> run_sweep(
   return results;
 }
 
+std::vector<PointResult> run_paper_sweep(const std::vector<SweepPoint>& points,
+                                         const SweepOptions& options) {
+  const auto approaches =
+      make_paper_approaches(options.ip_budget_ms, options.game_threads);
+  return run_sweep(points, approaches, options);
+}
+
 }  // namespace idde::sim

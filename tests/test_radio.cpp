@@ -2,6 +2,7 @@
 // interference field checked against the from-scratch reference.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "radio/interference.hpp"
@@ -301,5 +302,123 @@ TEST_P(FieldVsReferenceTest, AgreesAfterRandomHistory) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FieldVsReferenceTest,
                          ::testing::Range<std::uint64_t>(100, 112));
+
+TEST(ChangeTracking, VersionsBumpOnlyOnPerturbedSlots) {
+  Rng rng(7);
+  const RadioEnvironment env = make_env(3, 4, 2, rng, 1.0);
+  InterferenceField field(env);
+  EXPECT_EQ(field.version(), 0u);
+  EXPECT_EQ(field.last_move().user, ChannelSlot::kNone);
+
+  const ChannelSlot a{0, 0};
+  const ChannelSlot b{2, 1};
+  field.add_user(0, a);
+  EXPECT_EQ(field.version(), 1u);
+  EXPECT_EQ(field.slot_version(a), 1u);
+  EXPECT_EQ(field.slot_version(b), 0u);
+  EXPECT_EQ(field.last_move().user, 0u);
+  EXPECT_FALSE(field.last_move().from.allocated());
+  EXPECT_EQ(field.last_move().to, a);
+
+  // A move bumps exactly the vacated and entered slots and reports both.
+  field.move_user(0, b);
+  EXPECT_EQ(field.version(), 3u);  // remove + add
+  EXPECT_EQ(field.slot_version(a), 2u);
+  EXPECT_EQ(field.slot_version(b), 1u);
+  EXPECT_EQ(field.slot_version(ChannelSlot{1, 0}), 0u);
+  EXPECT_EQ(field.last_move().user, 0u);
+  EXPECT_EQ(field.last_move().from, a);
+  EXPECT_EQ(field.last_move().to, b);
+  EXPECT_EQ(field.last_move().version, field.version());
+
+  field.remove_user(0);
+  EXPECT_EQ(field.slot_version(b), 2u);
+  EXPECT_EQ(field.last_move().from, b);
+  EXPECT_FALSE(field.last_move().to.allocated());
+
+  // clear() invalidates every slot.
+  field.add_user(1, a);
+  const std::uint64_t before = field.version();
+  field.clear();
+  EXPECT_GT(field.version(), before);
+  EXPECT_EQ(field.slot_version(a), 4u);
+  EXPECT_EQ(field.slot_version(b), 3u);
+  EXPECT_EQ(field.last_move().user, ChannelSlot::kNone);
+}
+
+TEST(ChangeTracking, EqualSlotVersionsImplyEqualBenefits) {
+  // The contract the game's dirty set relies on: after a move, any user
+  // whose coverage misses both perturbed servers sees identical benefits
+  // at every one of its candidates.
+  Rng rng(8);
+  const RadioEnvironment env = make_env(6, 12, 3, rng, 0.4);
+  InterferenceField field(env);
+  std::vector<ChannelSlot> alloc = random_alloc(env, rng);
+  for (std::size_t j = 0; j < env.user_count; ++j) {
+    if (alloc[j].allocated()) field.add_user(j, alloc[j]);
+  }
+  std::vector<std::vector<double>> before(env.user_count);
+  for (std::size_t j = 0; j < env.user_count; ++j) {
+    for (const std::size_t i : env.covering_servers[j]) {
+      for (std::size_t x = 0; x < env.channels_per_server; ++x) {
+        before[j].push_back(field.benefit(j, ChannelSlot{i, x}));
+      }
+    }
+  }
+
+  // Move user 0 somewhere else within coverage.
+  const auto& cov0 = env.covering_servers[0];
+  const ChannelSlot target{cov0[cov0.size() - 1],
+                           env.channels_per_server - 1};
+  const ChannelSlot old0 = alloc[0];
+  field.move_user(0, target);
+  const MoveDelta& delta = field.last_move();
+
+  for (std::size_t j = 1; j < env.user_count; ++j) {
+    const auto& cov = env.covering_servers[j];
+    const bool touches =
+        (delta.from.allocated() &&
+         std::binary_search(cov.begin(), cov.end(), delta.from.server)) ||
+        (delta.to.allocated() &&
+         std::binary_search(cov.begin(), cov.end(), delta.to.server));
+    if (touches) continue;  // dirty by the game's criterion
+    std::size_t idx = 0;
+    for (const std::size_t i : cov) {
+      for (std::size_t x = 0; x < env.channels_per_server; ++x) {
+        EXPECT_EQ(field.benefit(j, ChannelSlot{i, x}), before[j][idx])
+            << "clean user " << j << " drifted after move " << old0.server
+            << "->" << target.server;
+        ++idx;
+      }
+    }
+  }
+}
+
+TEST(BenefitReference, MatchesIncrementalFieldAfterMoveChurn) {
+  for (std::uint64_t seed = 20; seed < 26; ++seed) {
+    Rng rng(seed);
+    const RadioEnvironment env = make_env(5, 10, 3, rng, 0.6);
+    InterferenceField field(env);
+    std::vector<ChannelSlot> shadow(env.user_count, kUnallocated);
+    for (int step = 0; step < 200; ++step) {
+      const std::size_t j = rng.index(env.user_count);
+      const auto& cov = env.covering_servers[j];
+      const ChannelSlot slot{cov[rng.index(cov.size())],
+                             rng.index(env.channels_per_server)};
+      field.move_user(j, slot);
+      shadow[j] = slot;
+    }
+    for (std::size_t j = 0; j < env.user_count; ++j) {
+      for (const std::size_t i : env.covering_servers[j]) {
+        for (std::size_t x = 0; x < env.channels_per_server; ++x) {
+          const ChannelSlot slot{i, x};
+          EXPECT_NEAR(field.benefit(j, slot),
+                      benefit_reference(env, shadow, j, slot), 1e-12)
+              << "seed " << seed << " user " << j;
+        }
+      }
+    }
+  }
+}
 
 }  // namespace

@@ -81,6 +81,7 @@ int cmd_solve(int argc, const char* const* argv) {
   std::string out = "strategy.json";
   std::size_t seed = 1;
   double ip_budget_ms = 200.0;
+  std::size_t threads = 1;
   util::CliParser cli("idde_tool solve: solve a stored instance");
   cli.add_string("instance", &instance_path, "instance JSON path");
   cli.add_string("approach", &approach_name,
@@ -88,11 +89,13 @@ int cmd_solve(int argc, const char* const* argv) {
   cli.add_string("out", &out, "output strategy path");
   cli.add_size("seed", &seed, "solver seed");
   cli.add_double("ip-budget-ms", &ip_budget_ms, "IDDE-IP budget");
+  cli.add_size("threads", &threads,
+               "allocation-game worker threads (1 = serial, 0 = hardware)");
   if (!cli.parse(argc, argv)) return 0;
 
   const model::ProblemInstance instance =
       model::instance_from_string(read_file(instance_path));
-  const auto approaches = sim::make_paper_approaches(ip_budget_ms);
+  const auto approaches = sim::make_paper_approaches(ip_budget_ms, threads);
   const core::Approach* approach = find_approach(approaches, approach_name);
   if (approach == nullptr) {
     std::fprintf(stderr, "unknown approach '%s'\n", approach_name.c_str());
