@@ -1,6 +1,7 @@
 #include "core/game.hpp"
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 
 #include "util/assert.hpp"
@@ -208,18 +209,28 @@ GameResult IddeUGame::run_incremental(const AllocationProfile& start) {
   // so their cache entries are dead). The field is read-only here, which
   // makes the fan-out embarrassingly parallel; results land in distinct
   // cache slots, so no synchronisation beyond the evaluation counter.
+  //
+  // Concurrency contract of the fan-out (stress-tested under TSan by
+  // tests/test_concurrency_stress.cpp): workers share the field and its
+  // version counters strictly read-only — the version guard below turns
+  // any future violation of that contract into a hard failure instead of
+  // a silent race — and each worker writes only cached[j] / current[j]
+  // for its own j, so entries are disjoint by construction.
   const auto refresh_dirty = [&] {
     dirty_list.clear();
     for (std::size_t j = 0; j < user_count; ++j) {
       if (dirty[j] != 0 && movable(j)) dirty_list.push_back(j);
     }
     if (pool != nullptr && dirty_list.size() >= kMinParallelBatch) {
+      const std::uint64_t version_before = field.version();
       std::atomic<std::size_t> evaluations{0};
       util::parallel_for(*pool, dirty_list.size(), [&](std::size_t idx) {
         std::size_t local = 0;
         evaluate_user(dirty_list[idx], &local);
         evaluations.fetch_add(local, std::memory_order_relaxed);
       });
+      IDDE_ASSERT(field.version() == version_before,
+                  "InterferenceField mutated during parallel refresh");
       result.benefit_evaluations += evaluations.load();
     } else {
       for (const std::size_t j : dirty_list) {

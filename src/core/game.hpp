@@ -61,6 +61,10 @@ struct GameOptions {
   /// Worker threads for re-evaluating the dirty set: 1 = serial (default),
   /// 0 = hardware concurrency, n = exactly n workers. Only engages on the
   /// incremental path; the move sequence is identical for every value.
+  /// Concurrency contract: workers share the field read-only (enforced by
+  /// a version-counter assert around the fan-out) and write disjoint cache
+  /// entries — see DESIGN.md §9; tests/test_concurrency_stress.cpp runs
+  /// this under TSan, including whole solves racing on separate threads.
   std::size_t threads = 1;
 };
 

@@ -78,6 +78,17 @@ struct MoveDelta {
   std::uint64_t version = 0;        ///< field version after the mutation
 };
 
+/// Thread-compatibility contract (relied on by core::IddeUGame's parallel
+/// dirty-set refresh and stress-tested under TSan): the field is
+/// *thread-compatible*, not thread-safe. Concurrent calls to the const
+/// evaluation API (sinr/rate/benefit/slot_of/channel_power/version/
+/// slot_version/last_move) are race-free because they only read; any
+/// mutation (add_user/remove_user/move_user/clear) requires exclusive
+/// access externally — there is deliberately no internal lock, because the
+/// game alternates strictly between a serial mutation phase and a parallel
+/// read-only phase, and a per-call lock would serialise the hot path. The
+/// version counters double as the enforcement hook: parallel readers
+/// snapshot version() and assert it unchanged afterwards.
 class InterferenceField {
  public:
   /// The environment must outlive the field.

@@ -1,8 +1,7 @@
 #include "sim/sweep.hpp"
 
-#include <mutex>
-
 #include "util/assert.hpp"
+#include "util/mutex.hpp"
 
 namespace idde::sim {
 
@@ -26,7 +25,7 @@ std::vector<PointResult> run_sweep(
     const auto reps = static_cast<std::size_t>(options.repetitions);
     std::vector<util::RunningStats> rate(a_count), latency(a_count),
         time(a_count);
-    std::mutex stats_mutex;
+    util::Mutex stats_mutex;
 
     util::parallel_for(pool, reps, [&](std::size_t rep) {
       // Instance seed depends only on (point, repetition): all approaches
@@ -40,7 +39,7 @@ std::vector<PointResult> run_sweep(
         util::Rng rng(seed ^ (0xabcd0000ULL + a));
         records.push_back(run_approach(instance, *approaches[a], rng));
       }
-      const std::scoped_lock lock(stats_mutex);
+      const util::MutexLock lock(stats_mutex);
       for (std::size_t a = 0; a < a_count; ++a) {
         rate[a].add(records[a].metrics.avg_rate_mbps);
         latency[a].add(records[a].metrics.avg_latency_ms);

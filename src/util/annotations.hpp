@@ -1,0 +1,68 @@
+// Clang thread-safety-analysis annotations (-Wthread-safety), following the
+// canonical macro set from the Clang documentation and Abseil. On compilers
+// without the attributes (GCC, MSVC) every macro expands to nothing, so the
+// annotated code compiles everywhere and the analysis is a pure add-on:
+// a clang build with -Wthread-safety -Werror machine-checks that every
+// access to IDDE_GUARDED_BY data happens with the named capability held.
+//
+// Use these through util::Mutex / util::MutexLock / util::CondVar
+// (util/mutex.hpp); naked std::mutex is reserved for util/ internals and
+// flagged by tools/lint/check_project.py elsewhere.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define IDDE_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define IDDE_THREAD_ANNOTATION_(x)
+#endif
+
+/// Marks a class as a capability (lockable). `name` appears in diagnostics.
+#define IDDE_CAPABILITY(name) IDDE_THREAD_ANNOTATION_(capability(name))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define IDDE_SCOPED_CAPABILITY IDDE_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Declares that the data member is protected by the given capability.
+/// Reads require the capability held shared or exclusive; writes exclusive.
+#define IDDE_GUARDED_BY(x) IDDE_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Like IDDE_GUARDED_BY, for the data pointed to by a pointer member.
+#define IDDE_PT_GUARDED_BY(x) IDDE_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Declares that a function may be called only with the capabilities held.
+#define IDDE_REQUIRES(...) \
+  IDDE_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Declares that a function may be called only with the capabilities NOT
+/// held (deadlock guard for functions that acquire them internally).
+#define IDDE_EXCLUDES(...) \
+  IDDE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define IDDE_ACQUIRE(...) \
+  IDDE_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability; it must be held on entry.
+#define IDDE_RELEASE(...) \
+  IDDE_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire the capability; holds it iff the return value
+/// equals `result` (first argument).
+#define IDDE_TRY_ACQUIRE(...) \
+  IDDE_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Declares lock-ordering edges for deadlock detection.
+#define IDDE_ACQUIRED_BEFORE(...) \
+  IDDE_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define IDDE_ACQUIRED_AFTER(...) \
+  IDDE_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define IDDE_RETURN_CAPABILITY(x) IDDE_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch for functions whose locking is correct but inexpressible
+/// (e.g. a condition-variable wait that unlocks and relocks internally).
+/// Every use must carry a comment saying why the analysis cannot see it.
+#define IDDE_NO_THREAD_SAFETY_ANALYSIS \
+  IDDE_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -2,14 +2,18 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace idde::util {
 
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_write_mutex;
+// Serialises whole log lines onto stderr so concurrent workers cannot
+// interleave fragments. stderr itself is the guarded resource; it is not a
+// C++ object we can annotate, so the capability only orders the writes.
+Mutex g_write_mutex;
 
 constexpr const char* level_tag(LogLevel level) {
   switch (level) {
@@ -44,7 +48,7 @@ LogLevel parse_log_level(std::string_view name) noexcept {
 namespace detail {
 
 void log_write(LogLevel level, std::string_view message) {
-  const std::scoped_lock lock(g_write_mutex);
+  const MutexLock lock(g_write_mutex);
   std::fprintf(stderr, "[idde %s] %.*s\n", level_tag(level),
                static_cast<int>(message.size()), message.data());
 }

@@ -1,6 +1,8 @@
-// Minimal leveled logger writing to stderr. Thread-safe; a single global
-// level gates output. Deliberately not configurable per-module: the library
-// is quiet by default and the harness raises verbosity when asked.
+// Minimal leveled logger writing to stderr. Thread-safe: the global level
+// is an atomic and whole lines are serialised onto stderr under an
+// annotated util::Mutex (see logging.cpp), so concurrent workers cannot
+// interleave fragments. Deliberately not configurable per-module: the
+// library is quiet by default and the harness raises verbosity when asked.
 #pragma once
 
 #include <string_view>

@@ -19,7 +19,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   task_ready_.notify_all();
@@ -29,7 +29,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   IDDE_EXPECTS(task != nullptr);
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     IDDE_ASSERT(!stopping_, "submit after shutdown");
     queue_.push_back(std::move(task));
     ++in_flight_;
@@ -38,23 +38,23 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  const MutexLock lock(mutex_);
+  while (in_flight_ != 0) all_done_.wait(mutex_);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      const MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) task_ready_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
     {
-      const std::scoped_lock lock(mutex_);
+      const MutexLock lock(mutex_);
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }
@@ -65,14 +65,14 @@ void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
   std::atomic<std::size_t> next{0};
   // One task per worker, each draining a shared index counter: cheap for
   // both many-tiny and few-large iteration bodies.
   const std::size_t lanes = std::min(pool.size(), count);
-  std::atomic<std::size_t> lanes_done{0};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  std::size_t lanes_done = 0;
+  Mutex done_mutex;
+  CondVar done_cv;
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     pool.submit([&] {
       for (;;) {
@@ -81,18 +81,21 @@ void parallel_for(ThreadPool& pool, std::size_t count,
         try {
           body(i);
         } catch (...) {
-          const std::scoped_lock lock(error_mutex);
+          const MutexLock lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }
       }
-      if (lanes_done.fetch_add(1) + 1 == lanes) {
-        const std::scoped_lock lock(done_mutex);
-        done_cv.notify_all();
-      }
+      // Notify while holding the lock: the waiter owns done_cv/done_mutex
+      // on its stack, and the lock guarantees it cannot observe the final
+      // count and destroy them before this worker is done touching them.
+      const MutexLock lock(done_mutex);
+      if (++lanes_done == lanes) done_cv.notify_all();
     });
   }
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return lanes_done.load() == lanes; });
+  {
+    const MutexLock lock(done_mutex);
+    while (lanes_done != lanes) done_cv.wait(done_mutex);
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Project-specific lint for the idde tree.
+
+Machine-enforces the repo's concurrency and contract conventions — the part
+clang-tidy cannot know about:
+
+  naked-sync    std::mutex / std::condition_variable / std::thread /
+                std::lock_guard / std::scoped_lock / std::unique_lock /
+                std::shared_mutex outside src/util/: use the annotated
+                util::Mutex / util::MutexLock / util::CondVar
+                (src/util/mutex.hpp) or util::ThreadPool, so clang
+                -Wthread-safety can check the locking.
+  naked-rand    rand() / srand() anywhere in scanned roots: use util::Rng —
+                experiments must be seed-reproducible.
+  naked-assert  assert( anywhere in scanned roots: use IDDE_ASSERT /
+                IDDE_EXPECTS / IDDE_ENSURES (src/util/assert.hpp), which
+                stay active in Release builds.
+  std-using     `using namespace std` in any header.
+
+Scope: src/ bench/ tools/ examples/ (tests/ may use raw std::thread — the
+concurrency stress suite drives the pool with them on purpose). src/util/
+is exempt from naked-sync: it implements the wrappers.
+
+A line can opt out with a trailing `// lint: allow(<rule>)` comment carrying
+a justification nearby. Exit status 1 on findings; 0 when clean.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCANNED_ROOTS = ("src", "bench", "tools", "examples")
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
+HEADER_SUFFIXES = {".hpp", ".h", ".hxx"}
+
+SYNC_PATTERN = re.compile(
+    r"\bstd::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(_any)?|thread|jthread|lock_guard|scoped_lock|"
+    r"unique_lock|shared_lock)\b"
+)
+RAND_PATTERN = re.compile(r"(?<![\w:])s?rand\s*\(")
+ASSERT_PATTERN = re.compile(r"(?<![\w:.])assert\s*\(")
+USING_STD_PATTERN = re.compile(r"\busing\s+namespace\s+std\b")
+ALLOW_PATTERN = re.compile(r"//\s*lint:\s*allow\((?P<rules>[\w\-, ]+)\)")
+
+LINE_COMMENT = re.compile(r"//.*$")
+STRING_LITERAL = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def strip_noise(line: str) -> str:
+    """Removes string literals and // comments so patterns match code only.
+
+    Block comments are handled coarsely by the caller; this repo's style
+    uses // exclusively, so that is the case that matters.
+    """
+    return LINE_COMMENT.sub("", STRING_LITERAL.sub('""', line))
+
+
+def allowed_rules(line: str) -> set[str]:
+    match = ALLOW_PATTERN.search(line)
+    if not match:
+        return set()
+    return {rule.strip() for rule in match.group("rules").split(",")}
+
+
+def scan_file(path: Path) -> list[tuple[Path, int, str, str]]:
+    findings = []
+    rel = path.relative_to(REPO_ROOT)
+    in_util = rel.parts[:2] == ("src", "util")
+    is_header = path.suffix in HEADER_SUFFIXES
+    in_block_comment = False
+
+    for lineno, raw in enumerate(path.read_text(errors="replace").splitlines(), 1):
+        allows = allowed_rules(raw)
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        start = line.find("/*")
+        if start >= 0 and "*/" not in line[start:]:
+            in_block_comment = True
+            line = line[:start]
+        code = strip_noise(line)
+
+        def report(rule: str, message: str) -> None:
+            if rule not in allows:
+                findings.append((rel, lineno, rule, message))
+
+        if not in_util and SYNC_PATTERN.search(code):
+            report(
+                "naked-sync",
+                "raw std synchronisation primitive outside src/util/; use "
+                "util::Mutex/MutexLock/CondVar (util/mutex.hpp) or "
+                "util::ThreadPool so -Wthread-safety covers it",
+            )
+        if RAND_PATTERN.search(code):
+            report("naked-rand", "rand()/srand() breaks seeded reproducibility; use util::Rng")
+        if ASSERT_PATTERN.search(code) and "static_assert" not in code:
+            report(
+                "naked-assert",
+                "use IDDE_ASSERT/IDDE_EXPECTS/IDDE_ENSURES (active in Release), not assert()",
+            )
+        if is_header and USING_STD_PATTERN.search(code):
+            report("std-using", "`using namespace std` is banned in headers")
+    return findings
+
+
+def main() -> int:
+    findings = []
+    for root in SCANNED_ROOTS:
+        base = REPO_ROOT / root
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in SOURCE_SUFFIXES and path.is_file():
+                findings.extend(scan_file(path))
+
+    for rel, lineno, rule, message in findings:
+        print(f"{rel}:{lineno}: [{rule}] {message}")
+    if findings:
+        print(f"check_project: {len(findings)} finding(s)")
+        return 1
+    print("check_project: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
