@@ -47,16 +47,21 @@ USING_STD_PATTERN = re.compile(r"\busing\s+namespace\s+std\b")
 ALLOW_PATTERN = re.compile(r"//\s*lint:\s*allow\((?P<rules>[\w\-, ]+)\)")
 
 LINE_COMMENT = re.compile(r"//.*$")
+BLOCK_COMMENT_SPAN = re.compile(r"/\*.*?\*/")
 STRING_LITERAL = re.compile(r'"(?:[^"\\]|\\.)*"')
 
 
 def strip_noise(line: str) -> str:
-    """Removes string literals and // comments so patterns match code only.
+    """Removes string literals, complete /*...*/ spans, and // comments so
+    patterns match code only.
 
-    Block comments are handled coarsely by the caller; this repo's style
-    uses // exclusively, so that is the case that matters.
+    Order matters: strings first (so a /* inside a literal is inert), then
+    inline block-comment spans, then // comments. Any /* left after this is
+    an unterminated block comment — the caller's state machine handles it.
     """
-    return LINE_COMMENT.sub("", STRING_LITERAL.sub('""', line))
+    line = STRING_LITERAL.sub('""', line)
+    line = BLOCK_COMMENT_SPAN.sub(" ", line)
+    return LINE_COMMENT.sub("", line)
 
 
 def allowed_rules(line: str) -> set[str]:
@@ -82,11 +87,11 @@ def scan_file(path: Path) -> list[tuple[Path, int, str, str]]:
                 continue
             line = line[end + 2:]
             in_block_comment = False
-        start = line.find("/*")
-        if start >= 0 and "*/" not in line[start:]:
-            in_block_comment = True
-            line = line[:start]
         code = strip_noise(line)
+        start = code.find("/*")
+        if start >= 0:
+            in_block_comment = True
+            code = code[:start]
 
         def report(rule: str, message: str) -> None:
             if rule not in allows:

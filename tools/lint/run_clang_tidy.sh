@@ -13,7 +13,9 @@
 #                  first-party .cpp under src/ bench/ tools/ examples/)
 #
 # Findings go to stdout and, when IDDE_TIDY_LOG is set, to that file too
-# (the CI job uploads it as an artifact on failure). Exit 1 on findings.
+# (the CI job uploads it as an artifact on failure). Exit 1 on findings,
+# 2 when clang-tidy itself fails (crash, missing header, bad compile
+# database) without emitting a matchable diagnostic.
 set -u -o pipefail
 
 cd "$(dirname "$0")/../.."
@@ -61,18 +63,34 @@ log="${IDDE_TIDY_LOG:-}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 echo "run_clang_tidy: $tidy, ${#files[@]} files, $jobs jobs"
 
-status=0
-# xargs fan-out: clang-tidy is single-threaded per TU.
-printf '%s\n' "${files[@]}" \
-  | xargs -P "$jobs" -n 4 "$tidy" -p "$build_dir" --quiet 2>/dev/null \
+hits="/tmp/idde_tidy_hits.$$"
+xargs_status_file="/tmp/idde_tidy_status.$$"
+trap 'rm -f "$hits" "$xargs_status_file"' EXIT
+
+# xargs fan-out: clang-tidy is single-threaded per TU. stderr is folded
+# into the checked stream (crashes and compile-database errors land there),
+# and the xargs stage's exit status is written to a file so the tee/grep
+# stages cannot mask a clang-tidy failure that prints no diagnostic.
+{
+  printf '%s\n' "${files[@]}" \
+    | xargs -P "$jobs" -n 4 "$tidy" -p "$build_dir" --quiet 2>&1
+  echo "$?" > "$xargs_status_file"
+} \
   | { if [[ -n "$log" ]]; then tee "$log"; else cat; fi; } \
-  | grep -E "warning:|error:" > /tmp/idde_tidy_hits.$$ || true
-if [[ -s /tmp/idde_tidy_hits.$$ ]]; then
+  | grep -E "warning:|error:" > "$hits" || true
+xargs_status="$(cat "$xargs_status_file" 2>/dev/null || echo 1)"
+
+status=0
+if [[ -s "$hits" ]]; then
   echo "run_clang_tidy: findings:"
-  cat /tmp/idde_tidy_hits.$$
+  cat "$hits"
   status=1
-else
+fi
+if [[ "$xargs_status" -ne 0 ]]; then
+  echo "run_clang_tidy: clang-tidy failed (xargs exit $xargs_status)" >&2
+  if [[ "$status" -eq 0 ]]; then status=2; fi
+fi
+if [[ "$status" -eq 0 ]]; then
   echo "run_clang_tidy: clean"
 fi
-rm -f /tmp/idde_tidy_hits.$$
 exit "$status"
