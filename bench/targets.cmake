@@ -34,3 +34,5 @@ idde_bench(ablation_propagation)
 idde_bench(ext_refinement)
 idde_bench(ext_contention)
 target_link_libraries(ext_contention PRIVATE idde_des)
+idde_bench(ext_resilience)
+target_link_libraries(ext_resilience PRIVATE idde_des idde_fault)

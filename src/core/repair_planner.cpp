@@ -1,0 +1,99 @@
+#include "core/repair_planner.hpp"
+
+#include <queue>
+#include <vector>
+
+#include "core/delivery.hpp"
+#include "util/assert.hpp"
+
+namespace idde::core {
+
+namespace {
+
+struct Candidate {
+  double ratio;
+  std::size_t server;
+  std::size_t item;
+
+  bool operator<(const Candidate& other) const {
+    return ratio < other.ratio;  // max-heap on ratio
+  }
+};
+
+constexpr double kMinGain = 1e-12;
+
+}  // namespace
+
+RepairPlanner::RepairPlanner(const model::ProblemInstance& instance)
+    : instance_(&instance) {}
+
+RepairResult RepairPlanner::replan(const AllocationProfile& allocation,
+                                   const DeliveryProfile& sigma,
+                                   std::span<const std::uint8_t> server_up,
+                                   const ReplicaLost& replica_lost,
+                                   bool collaborative) const {
+  const model::ProblemInstance& instance = *instance_;
+  IDDE_EXPECTS(allocation.size() == instance.user_count());
+  IDDE_EXPECTS(server_up.empty() || server_up.size() == instance.server_count());
+
+  const auto up = [&](std::size_t server) {
+    return server_up.empty() || server_up[server] != 0;
+  };
+  const auto lost = [&](std::size_t server, std::size_t item) {
+    return replica_lost && replica_lost(server, item);
+  };
+
+  // Users on dead servers have no radio channel for the outage: their
+  // requests go cloud-direct and must not attract repair placements.
+  AllocationProfile effective = allocation;
+  for (ChannelSlot& slot : effective) {
+    if (slot.allocated() && !up(slot.server)) slot = kUnallocated;
+  }
+
+  RepairResult result{DeliveryProfile(instance), 0, 0, 0.0};
+  DeliveryEvaluator evaluator(instance, effective, collaborative);
+
+  // Keep what survived; count what did not.
+  for (std::size_t k = 0; k < instance.data_count(); ++k) {
+    for (const std::size_t i : sigma.hosts(k)) {
+      if (!up(i) || lost(i, k)) {
+        ++result.lost_placements;
+        continue;
+      }
+      evaluator.commit(i, k);
+      result.delivery.place(i, k);
+    }
+  }
+
+  // Resume the lazy greedy (Eq. 17 ratio) on the surviving servers.
+  std::priority_queue<Candidate> heap;
+  for (std::size_t i = 0; i < instance.server_count(); ++i) {
+    if (!up(i)) continue;
+    for (std::size_t k = 0; k < instance.data_count(); ++k) {
+      if (lost(i, k) || !result.delivery.can_place(i, k)) continue;
+      const double gain = evaluator.gain_seconds(i, k);
+      if (gain > kMinGain) {
+        heap.push(Candidate{gain / instance.data(k).size_mb, i, k});
+      }
+    }
+  }
+  while (!heap.empty()) {
+    const Candidate top = heap.top();
+    heap.pop();
+    if (!result.delivery.can_place(top.server, top.item)) continue;
+    const double gain = evaluator.gain_seconds(top.server, top.item);
+    if (gain <= kMinGain) continue;
+    const double ratio = gain / instance.data(top.item).size_mb;
+    if (!heap.empty() && ratio < heap.top().ratio) {
+      heap.push(Candidate{ratio, top.server, top.item});
+      continue;
+    }
+    evaluator.commit(top.server, top.item);
+    result.delivery.place(top.server, top.item);
+    ++result.repair_placements;
+    result.recovered_gain_seconds += gain;
+  }
+  return result;
+}
+
+}  // namespace idde::core

@@ -1,0 +1,56 @@
+// Post-crash re-healing of the delivery profile (sigma). When servers die
+// their replicas disappear and the users they served fall back to the
+// cloud; the survivors are left with spare Eq. 6 storage budget and a
+// latency field that no longer matches the greedy optimum. RepairPlanner
+// rebuilds sigma for the degraded world: it keeps every surviving (and
+// uncorrupted) placement, drops the rest, and greedily re-places items on
+// the surviving servers by the same latency-reduction-per-MB ratio
+// (Eq. 17) the Phase-2 planner uses — the repair is exactly "resume the
+// greedy on what is left".
+//
+// With every server up and no corruption the replan is a provable no-op on
+// a greedily saturated sigma: committed gains only shrink as sigma grows
+// (submodularity), so no candidate the original run rejected can become
+// profitable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "core/strategy.hpp"
+#include "model/instance.hpp"
+
+namespace idde::core {
+
+struct RepairResult {
+  DeliveryProfile delivery;
+  std::size_t lost_placements = 0;    ///< replicas on dead servers / corrupt
+  std::size_t repair_placements = 0;  ///< new placements the repair added
+  double recovered_gain_seconds = 0;  ///< total latency the repairs removed
+};
+
+class RepairPlanner {
+ public:
+  explicit RepairPlanner(const model::ProblemInstance& instance);
+
+  /// Extra loss predicate: true when the replica (server, item) is
+  /// unreadable even though its server is up (silent corruption).
+  using ReplicaLost = std::function<bool(std::size_t, std::size_t)>;
+
+  /// Re-heals `sigma` for the world where only `server_up` servers
+  /// survive. Users allocated to dead servers are treated as cloud-bound
+  /// for the duration of the outage (their slot is gone, not re-auctioned
+  /// — channel reallocation is the game's job, not the repair's).
+  [[nodiscard]] RepairResult replan(const AllocationProfile& allocation,
+                                    const DeliveryProfile& sigma,
+                                    std::span<const std::uint8_t> server_up,
+                                    const ReplicaLost& replica_lost = {},
+                                    bool collaborative = true) const;
+
+ private:
+  const model::ProblemInstance* instance_;
+};
+
+}  // namespace idde::core

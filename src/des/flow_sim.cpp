@@ -1,9 +1,12 @@
 #include "des/flow_sim.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <map>
+#include <queue>
 
+#include "fault/injector.hpp"
 #include "net/shortest_path.hpp"
 #include "util/assert.hpp"
 #include "util/stats.hpp"
@@ -101,6 +104,16 @@ std::size_t FlowLevelSimulator::link_between(std::size_t a,
 
 FlowSimResult FlowLevelSimulator::run(const core::Strategy& strategy,
                                       util::Rng& rng) const {
+  // Zero-cost-when-disabled: a null or inert plan takes the exact
+  // pre-fault code path (same rng draws, same float ops, same results).
+  if (options_.fault_plan == nullptr || options_.fault_plan->inert()) {
+    return run_fault_free(strategy, rng);
+  }
+  return run_with_faults(strategy, rng);
+}
+
+FlowSimResult FlowLevelSimulator::run_fault_free(const core::Strategy& strategy,
+                                                 util::Rng& rng) const {
   const model::ProblemInstance& instance = *instance_;
   IDDE_EXPECTS(strategy.allocation.size() == instance.user_count());
 
@@ -140,14 +153,12 @@ FlowSimResult FlowLevelSimulator::run(const core::Strategy& strategy,
         // Cloud leg: uncontended, as the paper assumes.
         record.from_cloud = true;
         record.completion_s = record.arrival_s + best_seconds;
-        ++result.cloud_fetches;
         result.flows.push_back(record);
         continue;
       }
       if (best_source == serving) {
         record.local_hit = true;
         record.completion_s = record.arrival_s;
-        ++result.local_hits;
         result.flows.push_back(record);
         continue;
       }
@@ -241,20 +252,220 @@ FlowSimResult FlowLevelSimulator::run(const core::Strategy& strategy,
     }
   }
 
-  // Aggregates.
+  finalize(result);
+  return result;
+}
+
+FlowSimResult FlowLevelSimulator::run_with_faults(
+    const core::Strategy& strategy, util::Rng& rng) const {
+  const model::ProblemInstance& instance = *instance_;
+  const fault::FaultPlan& plan = *options_.fault_plan;
+  IDDE_EXPECTS(strategy.allocation.size() == instance.user_count());
+  const fault::FaultInjector injector(instance, plan);
+  const bool corruption = plan.replica_corruption_prob() > 0.0;
+
+  FlowSimResult result;
+  // Records are created in the same user-major order (and with the same
+  // rng draws) as the fault-free replay, so arrival times match exactly.
+  for (std::size_t j = 0; j < instance.user_count(); ++j) {
+    for (const std::size_t k : instance.requests().items_of(j)) {
+      FlowRecord record;
+      record.user = j;
+      record.item = k;
+      record.arrival_s = options_.arrival_window_s > 0.0
+                             ? rng.uniform(0.0, options_.arrival_window_s)
+                             : 0.0;
+      result.flows.push_back(record);
+    }
+  }
+
+  // A pending delivery attempt: the first try at arrival, retries after
+  // aborts. Min-heap on (time, record) keeps event order deterministic.
+  struct Attempt {
+    double time;
+    std::size_t record;
+  };
+  struct AttemptLater {
+    bool operator()(const Attempt& x, const Attempt& y) const {
+      if (x.time != y.time) return x.time > y.time;
+      return x.record > y.record;
+    }
+  };
+  std::priority_queue<Attempt, std::vector<Attempt>, AttemptLater> queue;
+  for (std::size_t r = 0; r < result.flows.size(); ++r) {
+    queue.push(Attempt{result.flows[r].arrival_s, r});
+  }
+
+  std::vector<double> capacities;
+  capacities.reserve(links_.size());
+  for (const Link& link : links_) capacities.push_back(link.capacity_mbps);
+
+  std::vector<std::size_t> degraded_hosts;
+  std::vector<std::size_t> reference_hosts;
+  std::vector<ActiveFlow> active;
+
+  // Starts one attempt at `now`: either records a completion directly
+  // (cloud leg, local hit, forced-cloud cap) or adds a routed ActiveFlow.
+  const auto start_attempt = [&](std::size_t r, double now) {
+    FlowRecord& record = result.flows[r];
+    record.from_cloud = false;
+    record.local_hit = false;
+    const core::ChannelSlot slot = strategy.allocation[record.user];
+    const std::size_t serving =
+        slot.allocated() ? slot.server : core::ChannelSlot::kNone;
+    const double size = instance.data(record.item).size_mb;
+    const double cloud_seconds =
+        instance.latency().cloud_transfer_seconds(size);
+
+    if (record.retries > options_.max_retries ||
+        now - record.arrival_s > options_.timeout_s) {
+      // Give up on the edge: one final, unabortable cloud transfer.
+      record.forced_cloud = true;
+      record.from_cloud = true;
+      record.tier = core::FallbackTier::kCloud;
+      record.completion_s = plan.cloud_completion(now, cloud_seconds);
+      return;
+    }
+
+    const fault::AvailabilitySnapshot& snap = injector.snapshot_at(now);
+    degraded_hosts.clear();
+    reference_hosts.clear();
+    for (const std::size_t host : strategy.delivery.hosts(record.item)) {
+      if (!strategy.collaborative_delivery && host != serving) continue;
+      reference_hosts.push_back(host);
+      if (corruption && plan.replica_corrupted(host, record.item)) continue;
+      degraded_hosts.push_back(host);
+    }
+    const core::FailoverDecision decision = core::resolve_with_failover(
+        instance, degraded_hosts, serving, size, snap.server_up, &snap.costs,
+        reference_hosts);
+    record.tier = decision.tier;
+    if (decision.source == core::kCloudSource) {
+      record.from_cloud = true;
+      record.completion_s = plan.cloud_completion(now, decision.seconds);
+      return;
+    }
+    if (decision.source == serving) {
+      record.local_hit = true;
+      record.completion_s = now;
+      return;
+    }
+    const net::Route route =
+        net::shortest_route(snap.graph, decision.source, serving);
+    IDDE_ASSERT(!route.nodes.empty(),
+                "resolver picked an unreachable replica");
+    record.hops = route.hops();
+    ActiveFlow flow;
+    flow.record_index = r;
+    flow.remaining_mb = size;
+    for (std::size_t s = 0; s + 1 < route.nodes.size(); ++s) {
+      const std::size_t l = link_between(route.nodes[s], route.nodes[s + 1]);
+      IDDE_ASSERT(l != kNoLink, "route uses a missing link");
+      flow.links.push_back(l);
+    }
+    active.push_back(std::move(flow));
+  };
+
+  double now = 0.0;
+  while (!active.empty() || !queue.empty()) {
+    if (active.empty()) now = std::max(now, queue.top().time);
+    while (!queue.empty() && queue.top().time <= now) {
+      const Attempt attempt = queue.top();
+      queue.pop();
+      start_attempt(attempt.record, now);
+    }
+    if (active.empty()) continue;  // next queue entry re-anchors `now`
+
+    assign_max_min_rates(active, capacities);
+    ++result.rate_recomputations;
+
+    double dt = std::numeric_limits<double>::infinity();
+    for (const ActiveFlow& flow : active) {
+      IDDE_ASSERT(flow.rate_mbps > 0.0, "starved flow");
+      dt = std::min(dt, flow.remaining_mb / flow.rate_mbps);
+    }
+    if (!queue.empty()) dt = std::min(dt, queue.top().time - now);
+    // Stop at the next edge-availability change so in-flight flows can be
+    // validated against the new epoch.
+    const double next_epoch = plan.next_edge_change_after(now);
+    const bool epoch_event = next_epoch - now <= dt;
+    if (epoch_event) dt = next_epoch - now;
+
+    for (ActiveFlow& flow : active) flow.remaining_mb -= flow.rate_mbps * dt;
+    now += dt;
+
+    for (std::size_t f = 0; f < active.size();) {
+      if (active[f].remaining_mb <= 1e-9) {
+        result.flows[active[f].record_index].completion_s = now;
+        active[f] = active.back();
+        active.pop_back();
+      } else {
+        ++f;
+      }
+    }
+
+    if (epoch_event) {
+      // Abort flows whose path died; they retry with capped exponential
+      // backoff and re-resolve from scratch (possibly to another replica
+      // or the cloud).
+      for (std::size_t f = 0; f < active.size();) {
+        bool dead = false;
+        for (const std::size_t l : active[f].links) {
+          if (!plan.server_up(links_[l].a, now) ||
+              !plan.server_up(links_[l].b, now) ||
+              !plan.link_up(links_[l].a, links_[l].b, now)) {
+            dead = true;
+            break;
+          }
+        }
+        if (!dead) {
+          ++f;
+          continue;
+        }
+        FlowRecord& record = result.flows[active[f].record_index];
+        ++record.retries;
+        const double backoff = std::min(
+            options_.retry_backoff_s *
+                std::ldexp(1.0, static_cast<int>(record.retries) - 1),
+            options_.retry_backoff_max_s);
+        queue.push(Attempt{now + backoff, active[f].record_index});
+        active[f] = active.back();
+        active.pop_back();
+      }
+    }
+  }
+
+  finalize(result);
+  return result;
+}
+
+void FlowLevelSimulator::finalize(FlowSimResult& result) {
   std::vector<double> durations_ms;
   durations_ms.reserve(result.flows.size());
   double makespan = 0.0;
+  std::size_t first_try_primary = 0;
   for (const FlowRecord& record : result.flows) {
     durations_ms.push_back(record.duration_s() * 1e3);
     makespan = std::max(makespan, record.completion_s);
+    if (record.local_hit) ++result.local_hits;
+    if (record.from_cloud) ++result.cloud_fetches;
+    if (record.forced_cloud) ++result.forced_cloud_fetches;
+    result.retry_count += record.retries;
+    ++result.tier_counts[static_cast<std::size_t>(record.tier)];
+    if (record.tier == core::FallbackTier::kPrimary && record.retries == 0) {
+      ++first_try_primary;
+    }
   }
   if (!durations_ms.empty()) {
     result.mean_duration_ms = util::mean_of(durations_ms);
     result.p95_duration_ms = util::percentile(durations_ms, 95.0);
+    result.p99_duration_ms = util::percentile(durations_ms, 99.0);
+    result.max_duration_ms =
+        *std::max_element(durations_ms.begin(), durations_ms.end());
+    result.availability = static_cast<double>(first_try_primary) /
+                          static_cast<double>(result.flows.size());
   }
   result.makespan_s = makespan;
-  return result;
 }
 
 }  // namespace idde::des

@@ -11,12 +11,24 @@
 // Comparing the replayed completion times with the analytic L_avg
 // quantifies the contention error of the paper's model — and lets us check
 // that the approach ranking survives contention (bench/ext_contention).
+//
+// With a fault::FaultPlan attached (FlowSimOptions::fault_plan) the replay
+// runs through the degraded world instead: sources are chosen by the
+// failover resolver against the epoch the request starts in, in-flight
+// flows through a dead server or link abort at the epoch boundary and
+// retry with capped exponential backoff (forced to the cloud past
+// max_retries/timeout_s), and the cloud leg stalls through brown-out
+// intervals. A null or inert plan takes the exact pre-fault code path —
+// results are bit-identical to a plan-less run.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <vector>
 
+#include "core/delivery.hpp"
 #include "core/strategy.hpp"
+#include "fault/fault_plan.hpp"
 #include "model/instance.hpp"
 #include "util/random.hpp"
 
@@ -31,6 +43,18 @@ struct FlowSimOptions {
   double arrival_window_s = 0.0;
   /// The cloud leg is modelled uncontended at the instance's cloud speed
   /// (the bottleneck the paper assumes); local hits complete instantly.
+
+  /// Optional fault schedule (not owned; must outlive the simulator run).
+  /// Null or inert = the fault-free replay, bit for bit.
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// First retry delay after an aborted flow; doubles per attempt.
+  double retry_backoff_s = 0.05;
+  /// Cap on the exponential backoff.
+  double retry_backoff_max_s = 2.0;
+  /// Aborted flows retry at most this many times, then go cloud-direct.
+  std::size_t max_retries = 8;
+  /// A request older than this is forced to the cloud on its next abort.
+  double timeout_s = 120.0;
 };
 
 struct FlowRecord {
@@ -43,16 +67,28 @@ struct FlowRecord {
   bool from_cloud = false;
   bool local_hit = false;
   std::size_t hops = 0;
+  // Fault-mode diagnostics (defaults describe the fault-free replay).
+  std::size_t retries = 0;    ///< aborted attempts before success
+  bool forced_cloud = false;  ///< hit the retry/timeout cap
+  core::FallbackTier tier = core::FallbackTier::kPrimary;
 };
 
 struct FlowSimResult {
   std::vector<FlowRecord> flows;          ///< one per request
   double mean_duration_ms = 0.0;          ///< the DES analogue of L_avg
   double p95_duration_ms = 0.0;
+  double p99_duration_ms = 0.0;           ///< degraded tail (faults live here)
+  double max_duration_ms = 0.0;
   double makespan_s = 0.0;                ///< last completion
   std::size_t local_hits = 0;
   std::size_t cloud_fetches = 0;
   std::size_t rate_recomputations = 0;    ///< DES bookkeeping
+  // Resilience aggregates (trivial — availability 1, zero counts — for a
+  // fault-free replay).
+  double availability = 1.0;  ///< flows served first-try at the primary tier
+  std::size_t retry_count = 0;          ///< total aborted attempts
+  std::size_t forced_cloud_fetches = 0;
+  std::array<std::size_t, core::kFallbackTiers> tier_counts{};
 };
 
 class FlowLevelSimulator {
@@ -78,6 +114,12 @@ class FlowLevelSimulator {
   /// link index by (min(a,b), max(a,b)); kNoLink when absent.
   [[nodiscard]] std::size_t link_between(std::size_t a, std::size_t b) const;
   static constexpr std::size_t kNoLink = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] FlowSimResult run_fault_free(const core::Strategy& strategy,
+                                             util::Rng& rng) const;
+  [[nodiscard]] FlowSimResult run_with_faults(const core::Strategy& strategy,
+                                              util::Rng& rng) const;
+  static void finalize(FlowSimResult& result);
 };
 
 }  // namespace idde::des

@@ -14,7 +14,8 @@ namespace idde::sim {
 
 RunRecord run_approach(const model::ProblemInstance& instance,
                        const core::Approach& approach, util::Rng& rng,
-                       bool require_valid) {
+                       bool require_valid,
+                       std::optional<core::Strategy>* strategy_out) {
   util::Stopwatch stopwatch;
   const core::Strategy strategy = approach.solve(instance, rng);
   RunRecord record;
@@ -32,6 +33,7 @@ RunRecord run_approach(const model::ProblemInstance& instance,
   if (require_valid) {
     IDDE_ASSERT(record.strategy_valid, "approach produced invalid strategy");
   }
+  if (strategy_out != nullptr) strategy_out->emplace(strategy);
   return record;
 }
 

@@ -2,6 +2,7 @@
 // the unit of work every experiment is built from.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,11 +23,13 @@ struct RunRecord {
 };
 
 /// Solves, times and evaluates. Aborts in tests if the strategy violates
-/// feasibility when `require_valid` is set.
-[[nodiscard]] RunRecord run_approach(const model::ProblemInstance& instance,
-                                     const core::Approach& approach,
-                                     util::Rng& rng,
-                                     bool require_valid = false);
+/// feasibility when `require_valid` is set. `strategy_out`, when non-null,
+/// receives the solved strategy (for downstream evaluation such as DES
+/// replay or resilience scoring) without re-solving.
+[[nodiscard]] RunRecord run_approach(
+    const model::ProblemInstance& instance, const core::Approach& approach,
+    util::Rng& rng, bool require_valid = false,
+    std::optional<core::Strategy>* strategy_out = nullptr);
 
 /// The paper's five approaches (Section 4.1) in presentation order:
 /// IDDE-IP, IDDE-G, SAA, CDP, DUP-G. `ip_budget_ms` caps the anytime

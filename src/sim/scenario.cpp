@@ -120,4 +120,33 @@ model::InstanceParams params_from_string(const std::string& text) {
   return params_from_json(util::Json::parse(text));
 }
 
+Json fault_profile_to_json(const fault::FaultProfile& profile) {
+  return Json(JsonObject{
+      {"horizon_s", Json(profile.horizon_s)},
+      {"server_mtbf_s", Json(profile.server_mtbf_s)},
+      {"server_mttr_s", Json(profile.server_mttr_s)},
+      {"link_mtbf_s", Json(profile.link_mtbf_s)},
+      {"link_mttr_s", Json(profile.link_mttr_s)},
+      {"cloud_mtbf_s", Json(profile.cloud_mtbf_s)},
+      {"cloud_mttr_s", Json(profile.cloud_mttr_s)},
+      {"replica_corruption_prob", Json(profile.replica_corruption_prob)},
+  });
+}
+
+fault::FaultProfile fault_profile_from_json(const Json& json) {
+  fault::FaultProfile profile;
+  profile.horizon_s = json.number_or("horizon_s", profile.horizon_s);
+  profile.server_mtbf_s =
+      json.number_or("server_mtbf_s", profile.server_mtbf_s);
+  profile.server_mttr_s =
+      json.number_or("server_mttr_s", profile.server_mttr_s);
+  profile.link_mtbf_s = json.number_or("link_mtbf_s", profile.link_mtbf_s);
+  profile.link_mttr_s = json.number_or("link_mttr_s", profile.link_mttr_s);
+  profile.cloud_mtbf_s = json.number_or("cloud_mtbf_s", profile.cloud_mtbf_s);
+  profile.cloud_mttr_s = json.number_or("cloud_mttr_s", profile.cloud_mttr_s);
+  profile.replica_corruption_prob = json.number_or(
+      "replica_corruption_prob", profile.replica_corruption_prob);
+  return profile;
+}
+
 }  // namespace idde::sim

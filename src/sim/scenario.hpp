@@ -1,9 +1,11 @@
-// Scenario configuration = InstanceParams + JSON (de)serialisation, so
-// examples and external tooling can describe experiments declaratively.
+// Scenario configuration = InstanceParams (and the optional fault profile)
+// + JSON (de)serialisation, so examples and external tooling can describe
+// experiments declaratively.
 #pragma once
 
 #include <string>
 
+#include "fault/fault_plan.hpp"
 #include "model/instance_builder.hpp"
 #include "util/json.hpp"
 
@@ -20,5 +22,13 @@ namespace idde::sim {
 [[nodiscard]] std::string params_to_string(const model::InstanceParams& params,
                                            int indent = 2);
 [[nodiscard]] model::InstanceParams params_from_string(const std::string& text);
+
+/// Serialises a fault profile (same conventions as params_to_json).
+[[nodiscard]] util::Json fault_profile_to_json(
+    const fault::FaultProfile& profile);
+
+/// Applies fields present in `json` on top of the (inert) defaults.
+[[nodiscard]] fault::FaultProfile fault_profile_from_json(
+    const util::Json& json);
 
 }  // namespace idde::sim

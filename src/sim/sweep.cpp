@@ -23,8 +23,10 @@ std::vector<PointResult> run_sweep(
     // Per-(approach, repetition) samples.
     const std::size_t a_count = approaches.size();
     const auto reps = static_cast<std::size_t>(options.repetitions);
+    const bool faults_active =
+        options.fault_profile != nullptr && !options.fault_profile->inert();
     std::vector<util::RunningStats> rate(a_count), latency(a_count),
-        time(a_count);
+        time(a_count), degraded(a_count), availability(a_count);
     util::Mutex stats_mutex;
 
     util::parallel_for(pool, reps, [&](std::size_t rep) {
@@ -35,15 +37,35 @@ std::vector<PointResult> run_sweep(
       const model::ProblemInstance instance = builder.build(seed);
       std::vector<RunRecord> records;
       records.reserve(a_count);
+      std::vector<fault::ResilienceReport> reports(a_count);
+      fault::FaultPlan plan;
+      if (faults_active) {
+        // Plan seed depends only on (point, repetition) too: every
+        // approach degrades through the same fault schedule.
+        plan = fault::FaultPlan::generate(instance, *options.fault_profile,
+                                          seed ^ options.fault_seed_offset);
+      }
       for (std::size_t a = 0; a < a_count; ++a) {
         util::Rng rng(seed ^ (0xabcd0000ULL + a));
-        records.push_back(run_approach(instance, *approaches[a], rng));
+        if (!faults_active) {
+          records.push_back(run_approach(instance, *approaches[a], rng));
+          continue;
+        }
+        std::optional<core::Strategy> strategy;
+        records.push_back(
+            run_approach(instance, *approaches[a], rng, false, &strategy));
+        reports[a] = fault::evaluate_resilience(instance, *strategy, plan,
+                                                options.repair_policy);
       }
       const util::MutexLock lock(stats_mutex);
       for (std::size_t a = 0; a < a_count; ++a) {
         rate[a].add(records[a].metrics.avg_rate_mbps);
         latency[a].add(records[a].metrics.avg_latency_ms);
         time[a].add(records[a].solve_ms);
+        if (faults_active) {
+          degraded[a].add(reports[a].degraded_latency_ms);
+          availability[a].add(reports[a].availability);
+        }
       }
     });
 
@@ -55,6 +77,8 @@ std::vector<PointResult> run_sweep(
           .rate_mbps = util::summarize(rate[a]),
           .latency_ms = util::summarize(latency[a]),
           .solve_ms = util::summarize(time[a]),
+          .degraded_latency_ms = util::summarize(degraded[a]),
+          .availability = util::summarize(availability[a]),
       });
     }
     if (options.on_point) options.on_point(point_result);

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "model/instance_builder.hpp"
 #include "sim/runner.hpp"
 #include "util/stats.hpp"
@@ -25,6 +26,10 @@ struct CellResult {
   util::Estimate rate_mbps;
   util::Estimate latency_ms;
   util::Estimate solve_ms;
+  /// Resilience columns — populated (n > 0) only when
+  /// SweepOptions::fault_profile is set and non-inert.
+  util::Estimate degraded_latency_ms;
+  util::Estimate availability;
 };
 
 struct PointResult {
@@ -44,6 +49,15 @@ struct SweepOptions {
   std::size_t game_threads = 1;
   /// IDDE-IP anytime budget for run_paper_sweep, milliseconds.
   double ip_budget_ms = 200.0;
+  /// Optional fault profile (not owned; must outlive the sweep). When set
+  /// and non-inert, each repetition draws a FaultPlan from the instance
+  /// seed xor `fault_seed_offset` and every approach is additionally
+  /// scored with fault::evaluate_resilience under `repair_policy`,
+  /// filling CellResult::degraded_latency_ms / availability. Null (the
+  /// default) leaves the sweep bit-identical to the pre-fault harness.
+  const fault::FaultProfile* fault_profile = nullptr;
+  std::uint64_t fault_seed_offset = 0x4a17;
+  fault::RepairPolicy repair_policy = fault::RepairPolicy::kNone;
   /// Progress callback (invoked once per completed point, serialised).
   std::function<void(const PointResult&)> on_point;
 };

@@ -94,6 +94,32 @@ TEST(DeliveryEvaluator, EmptySigmaIsAllCloud) {
   EXPECT_EQ(evaluator.request_count(), inst.requests().total_requests());
 }
 
+TEST(DeliveryEvaluator, EmptySigmaPinsEveryRequestToCloudLatency) {
+  // Pins the Eq. 8 fallback documented at delivery.hpp's constructor: with
+  // an empty sigma EVERY request individually sits at exactly the cloud
+  // latency — not just the total (which could mask compensating errors).
+  const ProblemInstance inst = model::make_instance(tiny_params(), 4);
+  const AllocationProfile alloc = equilibrium(inst);
+  DeliveryEvaluator evaluator(inst, alloc);
+  std::size_t id = 0;
+  for (std::size_t j = 0; j < inst.user_count(); ++j) {
+    for (const std::size_t k : inst.requests().items_of(j)) {
+      const double size = inst.data(k).size_mb;
+      const double cloud = inst.latency().cloud_transfer_seconds(size);
+      EXPECT_DOUBLE_EQ(evaluator.request_latency_seconds(id), cloud)
+          << "request " << id;
+      if (alloc[j].allocated()) {
+        // Eq. 8's min over an empty replica set is the cloud term itself.
+        EXPECT_DOUBLE_EQ(
+            inst.latency().best_delivery_seconds({}, alloc[j].server, size),
+            cloud);
+      }
+      ++id;
+    }
+  }
+  EXPECT_EQ(id, evaluator.request_count());
+}
+
 TEST(DeliveryEvaluator, CommitRealisesPredictedGain) {
   const ProblemInstance inst = model::make_instance(tiny_params(), 5);
   const AllocationProfile alloc = equilibrium(inst);

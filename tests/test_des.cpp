@@ -1,5 +1,5 @@
 // Flow-level DES: conservation, contention behaviour, agreement with the
-// analytic model in the uncontended limit.
+// analytic model in the uncontended limit, and tail/fault metrics.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -7,6 +7,7 @@
 #include "core/idde_g.hpp"
 #include "core/metrics.hpp"
 #include "des/flow_sim.hpp"
+#include "fault/fault_plan.hpp"
 #include "model/instance_builder.hpp"
 #include "sim/paper.hpp"
 
@@ -138,6 +139,61 @@ TEST(FlowSim, DeterministicWithoutArrivalJitter) {
   for (std::size_t f = 0; f < a.flows.size(); ++f) {
     EXPECT_DOUBLE_EQ(a.flows[f].completion_s, b.flows[f].completion_s);
   }
+}
+
+TEST(FlowSim, TailMetricsAreOrderedAndMaxIsExact) {
+  const auto s = solved_instance(9);
+  des::FlowSimOptions options;
+  options.link_capacity_scale = 0.1;  // contention spreads the tail
+  options.arrival_window_s = 5.0;
+  des::FlowLevelSimulator sim(s.instance, options);
+  util::Rng rng(9);
+  const auto result = sim.run(s.strategy, rng);
+  EXPECT_LE(result.mean_duration_ms, result.max_duration_ms + 1e-12);
+  EXPECT_LE(result.p95_duration_ms, result.p99_duration_ms + 1e-12);
+  EXPECT_LE(result.p99_duration_ms, result.max_duration_ms + 1e-12);
+  double manual_max = 0.0;
+  for (const auto& flow : result.flows) {
+    manual_max = std::max(manual_max, flow.duration_s() * 1e3);
+  }
+  EXPECT_DOUBLE_EQ(result.max_duration_ms, manual_max);
+}
+
+TEST(FlowSim, InertFaultPlanIsBitIdenticalToNoPlan) {
+  // Zero-cost-when-disabled: attaching an all-zero FaultPlan must take the
+  // exact fault-free code path — same rng draws, same float ops, so every
+  // metric is bit-identical, not merely close.
+  const auto s = solved_instance(10);
+  const fault::FaultPlan inert_plan;
+  ASSERT_TRUE(inert_plan.inert());
+  des::FlowSimOptions base;
+  base.arrival_window_s = 10.0;
+  base.link_capacity_scale = 0.2;
+  des::FlowSimOptions with_plan = base;
+  with_plan.fault_plan = &inert_plan;
+  util::Rng rng_a(10);
+  util::Rng rng_b(10);
+  const auto a = des::FlowLevelSimulator(s.instance, base).run(s.strategy,
+                                                               rng_a);
+  const auto b =
+      des::FlowLevelSimulator(s.instance, with_plan).run(s.strategy, rng_b);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t f = 0; f < a.flows.size(); ++f) {
+    EXPECT_EQ(a.flows[f].arrival_s, b.flows[f].arrival_s);
+    EXPECT_EQ(a.flows[f].completion_s, b.flows[f].completion_s);
+    EXPECT_EQ(a.flows[f].retries, b.flows[f].retries);
+    EXPECT_EQ(a.flows[f].tier, b.flows[f].tier);
+  }
+  EXPECT_EQ(a.mean_duration_ms, b.mean_duration_ms);
+  EXPECT_EQ(a.p95_duration_ms, b.p95_duration_ms);
+  EXPECT_EQ(a.p99_duration_ms, b.p99_duration_ms);
+  EXPECT_EQ(a.max_duration_ms, b.max_duration_ms);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.rate_recomputations, b.rate_recomputations);
+  EXPECT_EQ(a.availability, 1.0);
+  EXPECT_EQ(b.availability, 1.0);
+  EXPECT_EQ(b.retry_count, 0u);
+  EXPECT_EQ(b.tier_counts[0], b.flows.size());
 }
 
 TEST(FlowSim, NonCollaborativeStrategiesNeverRoute) {

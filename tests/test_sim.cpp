@@ -4,9 +4,11 @@
 #include <sstream>
 
 #include "core/idde_g.hpp"
+#include "fault/fault_plan.hpp"
 #include "sim/paper.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
+#include "sim/scenario.hpp"
 #include "sim/sweep.hpp"
 #include "util/format.hpp"
 
@@ -63,6 +65,61 @@ TEST(Sweep, ShapesAndDeterminism) {
     EXPECT_DOUBLE_EQ(a[i].cells[0].latency_ms.mean,
                      b[i].cells[0].latency_ms.mean);
   }
+}
+
+TEST(Sweep, FaultProfilePopulatesResilienceEstimates) {
+  std::vector<sim::SweepPoint> points{{"p0", small_params()}};
+  std::vector<core::ApproachPtr> approaches;
+  approaches.push_back(std::make_unique<core::IddeG>());
+
+  sim::SweepOptions options;
+  options.repetitions = 2;
+  options.base_seed = 11;
+  // Without a profile the resilience estimates stay empty (n == 0).
+  const auto plain = sim::run_sweep(points, approaches, options);
+  EXPECT_EQ(plain[0].cells[0].degraded_latency_ms.n, 0u);
+  EXPECT_EQ(plain[0].cells[0].availability.n, 0u);
+
+  fault::FaultProfile profile;
+  profile.horizon_s = 30.0;
+  profile.server_mtbf_s = 10.0;
+  profile.server_mttr_s = 5.0;
+  options.fault_profile = &profile;
+  options.repair_policy = fault::RepairPolicy::kGreedy;
+  const auto faulty = sim::run_sweep(points, approaches, options);
+  const auto& cell = faulty[0].cells[0];
+  EXPECT_EQ(cell.degraded_latency_ms.n, 2u);
+  EXPECT_EQ(cell.availability.n, 2u);
+  EXPECT_GE(cell.degraded_latency_ms.mean, cell.latency_ms.mean - 1e-9);
+  EXPECT_GT(cell.availability.mean, 0.0);
+  EXPECT_LE(cell.availability.mean, 1.0);
+  // Fault evaluation must not perturb the fault-free metrics.
+  EXPECT_DOUBLE_EQ(cell.rate_mbps.mean, plain[0].cells[0].rate_mbps.mean);
+  EXPECT_DOUBLE_EQ(cell.latency_ms.mean, plain[0].cells[0].latency_ms.mean);
+}
+
+TEST(Scenario, FaultProfileJsonRoundTrip) {
+  fault::FaultProfile profile;
+  profile.horizon_s = 42.0;
+  profile.server_mtbf_s = 7.0;
+  profile.server_mttr_s = 2.5;
+  profile.link_mtbf_s = 9.0;
+  profile.cloud_mtbf_s = 13.0;
+  profile.replica_corruption_prob = 0.125;
+  const auto round =
+      sim::fault_profile_from_json(sim::fault_profile_to_json(profile));
+  EXPECT_DOUBLE_EQ(round.horizon_s, profile.horizon_s);
+  EXPECT_DOUBLE_EQ(round.server_mtbf_s, profile.server_mtbf_s);
+  EXPECT_DOUBLE_EQ(round.server_mttr_s, profile.server_mttr_s);
+  EXPECT_DOUBLE_EQ(round.link_mtbf_s, profile.link_mtbf_s);
+  EXPECT_DOUBLE_EQ(round.link_mttr_s, profile.link_mttr_s);
+  EXPECT_DOUBLE_EQ(round.cloud_mtbf_s, profile.cloud_mtbf_s);
+  EXPECT_DOUBLE_EQ(round.cloud_mttr_s, profile.cloud_mttr_s);
+  EXPECT_DOUBLE_EQ(round.replica_corruption_prob,
+                   profile.replica_corruption_prob);
+  // An empty object yields the inert defaults.
+  EXPECT_TRUE(sim::fault_profile_from_json(util::Json(util::JsonObject{}))
+                  .inert());
 }
 
 TEST(Sweep, ProgressCallbackFiresPerPoint) {

@@ -16,6 +16,10 @@ clang-tidy cannot know about:
                 IDDE_EXPECTS / IDDE_ENSURES (src/util/assert.hpp), which
                 stay active in Release builds.
   std-using     `using namespace std` in any header.
+  naked-sleep   std::this_thread::sleep_for / sleep_until outside src/util/
+                and src/des/: wall-clock sleeps break seeded determinism
+                and slow CI; simulated time belongs in the DES clock, and
+                any real backoff belongs behind a util/ wrapper.
 
 Scope: src/ bench/ tools/ examples/ (tests/ may use raw std::thread — the
 concurrency stress suite drives the pool with them on purpose). src/util/
@@ -44,6 +48,7 @@ SYNC_PATTERN = re.compile(
 RAND_PATTERN = re.compile(r"(?<![\w:])s?rand\s*\(")
 ASSERT_PATTERN = re.compile(r"(?<![\w:.])assert\s*\(")
 USING_STD_PATTERN = re.compile(r"\busing\s+namespace\s+std\b")
+SLEEP_PATTERN = re.compile(r"\bstd::this_thread::sleep_(for|until)\b")
 ALLOW_PATTERN = re.compile(r"//\s*lint:\s*allow\((?P<rules>[\w\-, ]+)\)")
 
 LINE_COMMENT = re.compile(r"//.*$")
@@ -75,6 +80,7 @@ def scan_file(path: Path) -> list[tuple[Path, int, str, str]]:
     findings = []
     rel = path.relative_to(REPO_ROOT)
     in_util = rel.parts[:2] == ("src", "util")
+    sleep_exempt = rel.parts[:2] in (("src", "util"), ("src", "des"))
     is_header = path.suffix in HEADER_SUFFIXES
     in_block_comment = False
 
@@ -113,6 +119,12 @@ def scan_file(path: Path) -> list[tuple[Path, int, str, str]]:
             )
         if is_header and USING_STD_PATTERN.search(code):
             report("std-using", "`using namespace std` is banned in headers")
+        if not sleep_exempt and SLEEP_PATTERN.search(code):
+            report(
+                "naked-sleep",
+                "wall-clock sleep outside src/util//src/des/ breaks seeded "
+                "determinism; advance simulated time or wrap it in util/",
+            )
     return findings
 
 
