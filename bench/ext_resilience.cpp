@@ -26,6 +26,7 @@
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
 #include "model/instance_builder.hpp"
+#include "obs/obs.hpp"
 #include "sim/paper.hpp"
 #include "sim/runner.hpp"
 #include "util/assert.hpp"
@@ -116,8 +117,16 @@ int main(int argc, char** argv) {
   cli.add_size("reps", &reps, "seeded instances per profile");
   cli.add_size("seed", &base_seed, "first instance seed");
   cli.add_string("out", &out, "JSON output path (empty = skip)");
+  bool telemetry = false;
+  std::string trace_out;
+  cli.add_flag("telemetry", &telemetry,
+               "enable runtime telemetry (adds a telemetry block to --out)");
+  cli.add_string("trace-out", &trace_out,
+                 "write a chrome://tracing JSON here (implies --telemetry)");
   if (!cli.parse(argc, argv)) return 0;
   if (smoke) reps = 1;
+  if (telemetry) obs::set_enabled(true);
+  if (!trace_out.empty()) obs::set_trace_enabled(true);
 
   const model::InstanceParams params = sim::paper_default_params();
   const model::InstanceBuilder builder(params);
@@ -219,6 +228,7 @@ int main(int argc, char** argv) {
     doc["instance"] = std::move(shape);
     doc["profiles"] = std::move(json_profiles);
     doc["single_crash_fallback_resolutions"] = crash_fallbacks;
+    doc["telemetry"] = obs::telemetry_json();
     std::ofstream file(out);
     if (!file) {
       std::fprintf(stderr, "cannot write %s\n", out.c_str());
@@ -226,6 +236,13 @@ int main(int argc, char** argv) {
     }
     file << util::Json(std::move(doc)).dump(2) << "\n";
     std::printf("wrote %s\n", out.c_str());
+  }
+  if (!trace_out.empty()) {
+    if (!obs::Tracer::global().write_chrome_trace(trace_out)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", trace_out.c_str());
   }
   return 0;
 }

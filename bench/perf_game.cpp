@@ -17,11 +17,11 @@
 
 #include "core/game.hpp"
 #include "model/instance_builder.hpp"
+#include "obs/obs.hpp"
 #include "sim/paper.hpp"
 #include "util/assert.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
-#include "util/timer.hpp"
 
 namespace {
 
@@ -59,6 +59,8 @@ int main(int argc, char** argv) {
   std::size_t reps = 3;
   std::size_t base_seed = 1;
   std::string out = "BENCH_game.json";
+  bool telemetry = false;
+  std::string trace_out;
   util::CliParser cli(
       "perf_game: serial-full vs incremental vs incremental+parallel "
       "IDDE-U engines on a Set-2-sized instance");
@@ -68,7 +70,13 @@ int main(int argc, char** argv) {
   cli.add_size("reps", &reps, "seeded instances to average over");
   cli.add_size("seed", &base_seed, "first instance seed");
   cli.add_string("out", &out, "JSON output path (empty = skip)");
+  cli.add_flag("telemetry", &telemetry,
+               "enable runtime telemetry (adds a telemetry block to --out)");
+  cli.add_string("trace-out", &trace_out,
+                 "write a chrome://tracing JSON here (implies --telemetry)");
   if (!cli.parse(argc, argv)) return 0;
+  if (telemetry) obs::set_enabled(true);
+  if (!trace_out.empty()) obs::set_trace_enabled(true);
 
   model::InstanceParams params = sim::paper_default_params();
   params.server_count = servers;
@@ -91,9 +99,10 @@ int main(int argc, char** argv) {
     std::size_t reference_moves = 0;
     for (std::size_t c = 0; c < config_names.size(); ++c) {
       core::IddeUGame game(instance, engine_config(config_names[c]));
-      util::Stopwatch stopwatch;
+      const std::string span_name = "perf_game." + config_names[c];
+      const obs::ScopedSpan span(span_name);
       const core::GameResult result = game.run();
-      const double ms = stopwatch.elapsed_ms();
+      const double ms = span.elapsed_ms();
       IDDE_ASSERT(result.converged, "engine hit the round cap");
       if (c == 0) {
         reference_allocation = result.allocation;
@@ -162,6 +171,7 @@ int main(int argc, char** argv) {
     doc["eval_ratio_full_over_incremental"] = eval_ratio;
     doc["speedup_full_over_incremental"] = speedup_incremental;
     doc["speedup_full_over_parallel"] = speedup_parallel;
+    doc["telemetry"] = obs::telemetry_json();
     std::ofstream file(out);
     if (!file) {
       std::fprintf(stderr, "cannot write %s\n", out.c_str());
@@ -169,6 +179,13 @@ int main(int argc, char** argv) {
     }
     file << util::Json(std::move(doc)).dump(2) << "\n";
     std::printf("wrote %s\n", out.c_str());
+  }
+  if (!trace_out.empty()) {
+    if (!obs::Tracer::global().write_chrome_trace(trace_out)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", trace_out.c_str());
   }
   return 0;
 }

@@ -3,14 +3,15 @@
 // IDDE-G, with a coverage report and a per-phase breakdown. Demonstrates
 // that the library runs at full city scale, not just the paper's sweeps.
 #include <cstdio>
+#include <optional>
 
 #include "core/idde_g.hpp"
 #include "core/metrics.hpp"
 #include "model/instance_builder.hpp"
 #include "model/validation.hpp"
+#include "obs/obs.hpp"
 #include "sim/paper.hpp"
 #include "util/cli.hpp"
-#include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace idde;
@@ -27,12 +28,17 @@ int main(int argc, char** argv) {
   params.user_count = params.eua.user_count;
   params.data_count = data;
 
-  util::Stopwatch build_watch;
-  const model::ProblemInstance instance =
-      model::make_instance(params, static_cast<std::uint64_t>(seed));
-  std::printf("built city instance in %.1f ms: N=%zu M=%zu K=%zu\n",
-              build_watch.elapsed_ms(), instance.server_count(),
-              instance.user_count(), instance.data_count());
+  std::optional<model::ProblemInstance> built;
+  double build_ms = 0.0;
+  {
+    const obs::ScopedSpan build_span("city.build");
+    built.emplace(model::make_instance(params, static_cast<std::uint64_t>(seed)));
+    build_ms = build_span.elapsed_ms();
+  }
+  const model::ProblemInstance& instance = *built;
+  std::printf("built city instance in %.1f ms: N=%zu M=%zu K=%zu\n", build_ms,
+              instance.server_count(), instance.user_count(),
+              instance.data_count());
 
   const model::CoverageStats coverage = model::coverage_stats(instance);
   std::printf(
@@ -51,9 +57,14 @@ int main(int argc, char** argv) {
               }());
 
   util::Rng rng(seed);
-  util::Stopwatch solve_watch;
-  const core::Strategy strategy = core::IddeG().solve(instance, rng);
-  const double solve_ms = solve_watch.elapsed_ms();
+  std::optional<core::Strategy> solved;
+  double solve_ms = 0.0;
+  {
+    const obs::ScopedSpan solve_span("city.solve");
+    solved.emplace(core::IddeG().solve(instance, rng));
+    solve_ms = solve_span.elapsed_ms();
+  }
+  const core::Strategy& strategy = *solved;
   const core::StrategyMetrics metrics = core::evaluate(instance, strategy);
 
   std::printf("\nIDDE-G at city scale (%.1f ms):\n", solve_ms);

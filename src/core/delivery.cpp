@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 
 namespace idde::core {
@@ -132,6 +133,24 @@ std::size_t argmin_source(const model::ProblemInstance& instance,
   return source;
 }
 
+/// Per-request resolution telemetry (Eq. 8 tiers + latency distribution).
+/// Shared by the fault layer and the DES replay, which both resolve
+/// through this function.
+void note_resolution(const FailoverDecision& decision) {
+  switch (decision.tier) {
+    case FallbackTier::kPrimary:
+      IDDE_OBS_COUNT("resolve.primary_total", 1);
+      break;
+    case FallbackTier::kReplica:
+      IDDE_OBS_COUNT("resolve.replica_total", 1);
+      break;
+    case FallbackTier::kCloud:
+      IDDE_OBS_COUNT("resolve.cloud_total", 1);
+      break;
+  }
+  IDDE_OBS_HISTOGRAM("resolve.latency_ms", decision.seconds * 1e3);
+}
+
 }  // namespace
 
 FailoverDecision resolve_with_failover(
@@ -158,6 +177,7 @@ FailoverDecision resolve_with_failover(
                             fault_free);
     decision.tier = fault_free_source == kCloudSource ? FallbackTier::kPrimary
                                                       : FallbackTier::kCloud;
+    note_resolution(decision);
     return decision;
   }
 
@@ -173,6 +193,7 @@ FailoverDecision resolve_with_failover(
   } else {
     decision.tier = FallbackTier::kReplica;
   }
+  note_resolution(decision);
   return decision;
 }
 

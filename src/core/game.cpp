@@ -4,11 +4,29 @@
 #include <cstdint>
 #include <memory>
 
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
 namespace idde::core {
+
+namespace {
+
+/// Telemetry for one finished solve (both engines). Pure observation —
+/// the engines' move sequences are bit-identical with this on or off.
+void record_game_telemetry(const GameResult& result) {
+  IDDE_OBS_COUNT("game.solves_total", 1);
+  IDDE_OBS_COUNT("game.moves_total", result.moves);
+  IDDE_OBS_COUNT("game.rounds_total", result.rounds);
+  IDDE_OBS_COUNT("game.benefit_evaluations_total",
+                 result.benefit_evaluations);
+  IDDE_OBS_COUNT("game.frozen_users_total", result.frozen_users);
+  IDDE_OBS_HISTOGRAM("game.rounds", result.rounds);
+  IDDE_OBS_HISTOGRAM("game.moves", result.moves);
+}
+
+}  // namespace
 
 IddeUGame::IddeUGame(const model::ProblemInstance& instance,
                      GameOptions options)
@@ -46,7 +64,11 @@ GameResult IddeUGame::run() {
 
 GameResult IddeUGame::run_from(const AllocationProfile& start) {
   IDDE_EXPECTS(start.size() == instance_->user_count());
-  return options_.incremental ? run_incremental(start) : run_full_scan(start);
+  IDDE_OBS_SPAN("game.solve");
+  GameResult result =
+      options_.incremental ? run_incremental(start) : run_full_scan(start);
+  record_game_telemetry(result);
+  return result;
 }
 
 GameResult IddeUGame::run_full_scan(const AllocationProfile& start) {
@@ -221,7 +243,11 @@ GameResult IddeUGame::run_incremental(const AllocationProfile& start) {
     for (std::size_t j = 0; j < user_count; ++j) {
       if (dirty[j] != 0 && movable(j)) dirty_list.push_back(j);
     }
+    IDDE_OBS_HISTOGRAM("game.dirty_set_size", dirty_list.size());
     if (pool != nullptr && dirty_list.size() >= kMinParallelBatch) {
+      // Backlog sampled before dispatch: non-zero only when the pool is
+      // shared with other in-flight work.
+      IDDE_OBS_HISTOGRAM("game.pool_queue_depth", pool->queued());
       const std::uint64_t version_before = field.version();
       std::atomic<std::size_t> evaluations{0};
       util::parallel_for(*pool, dirty_list.size(), [&](std::size_t idx) {

@@ -3,11 +3,44 @@
 #include <queue>
 #include <tuple>
 
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 
 namespace idde::core {
 
 namespace {
+
+/// Telemetry for a finished plan: counters, the post-plan per-request
+/// latency distribution (the Eq. 8 resolution the strategy commits to),
+/// and per-server storage-budget utilisation. Observation only.
+void record_plan_telemetry(const model::ProblemInstance& instance,
+                           const DeliveryEvaluator& evaluator,
+                           const GreedyDeliveryResult& result) {
+  IDDE_OBS_COUNT("delivery.plans_total", 1);
+  IDDE_OBS_COUNT("delivery.candidates_scanned_total",
+                 result.gain_evaluations);
+  IDDE_OBS_COUNT("delivery.placements_total", result.placements);
+#if IDDE_OBS
+  if (obs::enabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    obs::Histogram& latency =
+        registry.histogram("delivery.request_latency_ms");
+    for (std::size_t id = 0; id < evaluator.request_count(); ++id) {
+      latency.record(evaluator.request_latency_seconds(id) * 1e3);
+    }
+    obs::Histogram& utilization =
+        registry.histogram("delivery.budget_utilization");
+    for (std::size_t i = 0; i < instance.server_count(); ++i) {
+      const double capacity = instance.server(i).storage_mb;
+      if (capacity <= 0.0) continue;
+      utilization.record(1.0 - result.delivery.free_mb(i) / capacity);
+    }
+  }
+#else
+  (void)instance;
+  (void)evaluator;
+#endif
+}
 
 /// Heap entry: ratio key (possibly stale upper bound) plus the candidate.
 struct Candidate {
@@ -31,6 +64,7 @@ GreedyDeliveryPlanner::GreedyDeliveryPlanner(
 GreedyDeliveryResult GreedyDeliveryPlanner::plan(
     const AllocationProfile& allocation) const {
   const model::ProblemInstance& instance = *instance_;
+  IDDE_OBS_SPAN("delivery.plan");
   GreedyDeliveryResult result{DeliveryProfile(instance), 0, 0};
   DeliveryEvaluator evaluator(instance, allocation);
 
@@ -69,6 +103,7 @@ GreedyDeliveryResult GreedyDeliveryPlanner::plan(
     result.delivery.place(top.server, top.item);
     ++result.placements;
   }
+  record_plan_telemetry(instance, evaluator, result);
   return result;
 }
 

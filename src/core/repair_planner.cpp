@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/delivery.hpp"
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 
 namespace idde::core {
@@ -35,6 +36,9 @@ RepairResult RepairPlanner::replan(const AllocationProfile& allocation,
   const model::ProblemInstance& instance = *instance_;
   IDDE_EXPECTS(allocation.size() == instance.user_count());
   IDDE_EXPECTS(server_up.empty() || server_up.size() == instance.server_count());
+
+  IDDE_OBS_SPAN("repair.replan");
+  std::size_t candidates_scanned = 0;
 
   const auto up = [&](std::size_t server) {
     return server_up.empty() || server_up[server] != 0;
@@ -72,6 +76,7 @@ RepairResult RepairPlanner::replan(const AllocationProfile& allocation,
     for (std::size_t k = 0; k < instance.data_count(); ++k) {
       if (lost(i, k) || !result.delivery.can_place(i, k)) continue;
       const double gain = evaluator.gain_seconds(i, k);
+      ++candidates_scanned;
       if (gain > kMinGain) {
         heap.push(Candidate{gain / instance.data(k).size_mb, i, k});
       }
@@ -82,6 +87,7 @@ RepairResult RepairPlanner::replan(const AllocationProfile& allocation,
     heap.pop();
     if (!result.delivery.can_place(top.server, top.item)) continue;
     const double gain = evaluator.gain_seconds(top.server, top.item);
+    ++candidates_scanned;
     if (gain <= kMinGain) continue;
     const double ratio = gain / instance.data(top.item).size_mb;
     if (!heap.empty() && ratio < heap.top().ratio) {
@@ -93,6 +99,24 @@ RepairResult RepairPlanner::replan(const AllocationProfile& allocation,
     ++result.repair_placements;
     result.recovered_gain_seconds += gain;
   }
+
+  IDDE_OBS_COUNT("repair.replans_total", 1);
+  IDDE_OBS_COUNT("repair.candidates_scanned_total", candidates_scanned);
+  IDDE_OBS_COUNT("repair.placements_total", result.repair_placements);
+  IDDE_OBS_COUNT("repair.lost_placements_total", result.lost_placements);
+#if IDDE_OBS
+  if (obs::enabled()) {
+    // Eq. 6 budget utilisation of the healed plan, surviving servers only.
+    obs::Histogram& utilization = obs::MetricsRegistry::global().histogram(
+        "repair.budget_utilization");
+    for (std::size_t i = 0; i < instance.server_count(); ++i) {
+      if (!up(i)) continue;
+      const double capacity = instance.server(i).storage_mb;
+      if (capacity <= 0.0) continue;
+      utilization.record(1.0 - result.delivery.free_mb(i) / capacity);
+    }
+  }
+#endif
   return result;
 }
 

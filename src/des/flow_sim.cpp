@@ -8,6 +8,7 @@
 
 #include "fault/injector.hpp"
 #include "net/shortest_path.hpp"
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/stats.hpp"
 
@@ -104,6 +105,7 @@ std::size_t FlowLevelSimulator::link_between(std::size_t a,
 
 FlowSimResult FlowLevelSimulator::run(const core::Strategy& strategy,
                                       util::Rng& rng) const {
+  IDDE_OBS_SPAN("des.run");
   // Zero-cost-when-disabled: a null or inert plan takes the exact
   // pre-fault code path (same rng draws, same float ops, same results).
   if (options_.fault_plan == nullptr || options_.fault_plan->inert()) {
@@ -422,6 +424,7 @@ FlowSimResult FlowLevelSimulator::run_with_faults(
           ++f;
           continue;
         }
+        IDDE_OBS_COUNT("des.epoch_aborts_total", 1);
         FlowRecord& record = result.flows[active[f].record_index];
         ++record.retries;
         const double backoff = std::min(
@@ -466,6 +469,21 @@ void FlowLevelSimulator::finalize(FlowSimResult& result) {
                           static_cast<double>(result.flows.size());
   }
   result.makespan_s = makespan;
+
+  IDDE_OBS_COUNT("des.runs_total", 1);
+  IDDE_OBS_COUNT("des.flows_total", result.flows.size());
+  IDDE_OBS_COUNT("des.retries_total", result.retry_count);
+  IDDE_OBS_COUNT("des.forced_cloud_total", result.forced_cloud_fetches);
+  IDDE_OBS_COUNT("des.local_hits_total", result.local_hits);
+  IDDE_OBS_COUNT("des.cloud_fetches_total", result.cloud_fetches);
+  IDDE_OBS_COUNT("des.rate_recomputations_total", result.rate_recomputations);
+#if IDDE_OBS
+  if (obs::enabled()) {
+    obs::Histogram& duration =
+        obs::MetricsRegistry::global().histogram("des.flow_duration_ms");
+    for (const double ms : durations_ms) duration.record(ms);
+  }
+#endif
 }
 
 }  // namespace idde::des

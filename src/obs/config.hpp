@@ -1,0 +1,38 @@
+// Compile-time and runtime switches for the telemetry subsystem.
+//
+// Compile-time: build with -DIDDE_OBS=0 (CMake -DIDDE_OBS=OFF) and every
+// instrumentation macro in obs/obs.hpp expands to nothing — a disabled
+// build carries zero telemetry cost and zero telemetry code on the
+// instrumented paths. The obs library itself still compiles (so link lines
+// and direct API users such as idde_tool do not need their own #if
+// forests), it just never gets fed.
+//
+// Runtime (IDDE_OBS=1 builds): recording is OFF by default and every macro
+// is a single relaxed atomic load + branch until someone turns it on —
+// that branch is the whole overhead contract of the CI obs-overhead gate.
+// Enable with set_enabled(true), or from the environment:
+//   IDDE_TELEMETRY=1   counters/gauges/histograms + span rollups
+//   IDDE_TRACE=1       the above plus trace-event capture (chrome://tracing)
+// idde_tool --metrics-out/--trace-out and the bench --telemetry flags call
+// set_enabled()/set_trace_enabled() explicitly.
+#pragma once
+
+#ifndef IDDE_OBS
+#define IDDE_OBS 1
+#endif
+
+namespace idde::obs {
+
+/// Master runtime switch: metrics cells and span timing record only while
+/// this is true. One relaxed atomic load; safe to call from any thread.
+[[nodiscard]] bool enabled() noexcept;
+
+/// Trace-event capture (implies nothing about `enabled()`; the macros
+/// check both where relevant). Span *rollup* aggregation follows
+/// `enabled()`; the per-event chrome buffer additionally needs this.
+[[nodiscard]] bool trace_enabled() noexcept;
+
+void set_enabled(bool on) noexcept;
+void set_trace_enabled(bool on) noexcept;
+
+}  // namespace idde::obs

@@ -1,0 +1,72 @@
+#include "obs/obs.hpp"
+
+#include <atomic>
+
+#include "util/env.hpp"
+
+namespace idde::obs {
+
+namespace {
+
+bool env_flag(const char* name) {
+  const std::string value = util::env_or(name, "");
+  return !value.empty() && value != "0" && value != "false" &&
+         value != "off";
+}
+
+struct RuntimeFlags {
+  std::atomic<bool> enabled;
+  std::atomic<bool> trace;
+  RuntimeFlags()
+      : enabled(env_flag("IDDE_TELEMETRY") || env_flag("IDDE_TRACE")),
+        trace(env_flag("IDDE_TRACE")) {
+    // Anchor the trace clock before the first span can end: the first
+    // enabled() call happens in a ScopedSpan constructor, ahead of its
+    // start timestamp, so touching the tracer here keeps every ts >= 0.
+    if (trace.load(std::memory_order_relaxed)) (void)Tracer::global();
+  }
+};
+
+RuntimeFlags& flags() {
+  static RuntimeFlags instance;
+  return instance;
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  return flags().enabled.load(std::memory_order_relaxed);
+}
+
+bool trace_enabled() noexcept {
+  return flags().trace.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  flags().enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool on) noexcept {
+  flags().trace.store(on, std::memory_order_relaxed);
+  // Trace capture without the metrics/span layer is useless (spans are the
+  // only event source), so turning tracing on turns telemetry on too. The
+  // tracer is constructed here so its clock origin predates every span.
+  if (on) {
+    flags().enabled.store(true, std::memory_order_relaxed);
+    (void)Tracer::global();
+  }
+}
+
+util::Json telemetry_json() {
+  util::Json scrape = MetricsRegistry::global().scrape();
+  util::JsonObject doc = scrape.as_object();
+  doc["spans"] = Tracer::global().rollup_json();
+  return util::Json(std::move(doc));
+}
+
+void reset_all() {
+  MetricsRegistry::global().reset();
+  Tracer::global().reset();
+}
+
+}  // namespace idde::obs

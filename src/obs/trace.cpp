@@ -1,0 +1,173 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace idde::obs {
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::shared_ptr<Tracer::ThreadBuffer> Tracer::local_buffer_locked() {
+  // Cache key: (owner, epoch). A reset bumps the epoch, so stale cached
+  // pointers are replaced — never dereferenced — on the next event.
+  thread_local std::shared_ptr<ThreadBuffer> cached;
+  thread_local const void* cached_owner = nullptr;
+  thread_local std::uint64_t cached_epoch = 0;
+  if (cached_owner != this || cached_epoch != epoch_ || cached == nullptr) {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    buffer->tid = static_cast<std::uint32_t>(buffers_.size() + 1);
+    buffers_.push_back(buffer);
+    cached = std::move(buffer);
+    cached_owner = this;
+    cached_epoch = epoch_;
+  }
+  return cached;
+}
+
+void Tracer::record(std::string_view name,
+                    std::chrono::steady_clock::time_point start,
+                    double duration_ms, std::string_view args) {
+  const bool capture = trace_enabled();
+  std::shared_ptr<ThreadBuffer> buffer;
+  double ts_us = 0.0;
+  {
+    const util::MutexLock lock(mutex_);
+    auto it = rollup_.find(name);
+    if (it == rollup_.end()) {
+      it = rollup_
+               .emplace(std::string(name), std::make_unique<PhaseAggregate>())
+               .first;
+    }
+    PhaseAggregate& aggregate = *it->second;
+    ++aggregate.count;
+    aggregate.total_ms += duration_ms;
+    aggregate.max_ms = std::max(aggregate.max_ms, duration_ms);
+    aggregate.histogram.record(duration_ms);
+    if (capture) {
+      // Clamped: a span constructed before the tracer existed (or before a
+      // reset re-anchored the clock) starts at the origin, not before it.
+      ts_us = std::max(
+          0.0,
+          std::chrono::duration<double, std::micro>(start - origin_).count());
+      buffer = local_buffer_locked();
+    }
+  }
+  if (buffer != nullptr) {
+    TraceEvent event;
+    event.name = std::string(name);
+    event.args = std::string(args);
+    event.ts_us = ts_us;
+    event.dur_us = duration_ms * 1e3;
+    event.tid = buffer->tid;
+    const util::MutexLock lock(buffer->mutex);
+    buffer->events.push_back(std::move(event));
+  }
+}
+
+util::Json Tracer::chrome_trace() {
+  // Snapshot the buffer list under the registry lock, then drain each
+  // buffer under its own lock — no nesting, and events recorded by live
+  // threads during the copy simply land in the next export.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    const util::MutexLock lock(mutex_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : buffers) {
+    const util::MutexLock lock(buffer->mutex);
+    events.insert(events.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              return a.tid < b.tid;
+            });
+
+  util::JsonArray trace_events;
+  trace_events.reserve(events.size());
+  for (const TraceEvent& event : events) {
+    util::JsonObject entry;
+    entry["name"] = event.name;
+    entry["cat"] = std::string("idde");
+    entry["ph"] = std::string("X");
+    entry["ts"] = event.ts_us;
+    entry["dur"] = event.dur_us;
+    entry["pid"] = 1;
+    entry["tid"] = static_cast<std::int64_t>(event.tid);
+    if (!event.args.empty()) {
+      util::JsonObject args;
+      args["detail"] = event.args;
+      entry["args"] = std::move(args);
+    }
+    trace_events.emplace_back(std::move(entry));
+  }
+  util::JsonObject doc;
+  doc["displayTimeUnit"] = std::string("ms");
+  doc["traceEvents"] = std::move(trace_events);
+  return util::Json(std::move(doc));
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << chrome_trace().dump(1) << "\n";
+  return static_cast<bool>(out);
+}
+
+util::TextTable Tracer::rollup_table() {
+  util::TextTable table({"phase", "count", "total ms", "mean ms", "p50 ms",
+                         "p90 ms", "p99 ms", "max ms"});
+  const util::MutexLock lock(mutex_);
+  for (const auto& [name, aggregate] : rollup_) {
+    const HistogramSnapshot snap = aggregate->histogram.snapshot();
+    table.start_row()
+        .add(name)
+        .add(aggregate->count)
+        .add(aggregate->total_ms, 2)
+        .add(aggregate->count > 0
+                 ? aggregate->total_ms / static_cast<double>(aggregate->count)
+                 : 0.0,
+             3)
+        .add(snap.p50, 3)
+        .add(snap.p90, 3)
+        .add(snap.p99, 3)
+        .add(aggregate->max_ms, 3);
+  }
+  return table;
+}
+
+util::Json Tracer::rollup_json() {
+  const util::MutexLock lock(mutex_);
+  util::JsonObject doc;
+  for (const auto& [name, aggregate] : rollup_) {
+    const HistogramSnapshot snap = aggregate->histogram.snapshot();
+    util::JsonObject entry;
+    entry["count"] = aggregate->count;
+    entry["total_ms"] = aggregate->total_ms;
+    entry["mean_ms"] =
+        aggregate->count > 0
+            ? aggregate->total_ms / static_cast<double>(aggregate->count)
+            : 0.0;
+    entry["p50"] = snap.p50;
+    entry["p90"] = snap.p90;
+    entry["p99"] = snap.p99;
+    entry["p999"] = snap.p999;
+    entry["max"] = aggregate->max_ms;
+    doc[name] = std::move(entry);
+  }
+  return util::Json(std::move(doc));
+}
+
+void Tracer::reset() {
+  const util::MutexLock lock(mutex_);
+  buffers_.clear();
+  rollup_.clear();
+  ++epoch_;
+  origin_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace idde::obs

@@ -1,0 +1,170 @@
+// Phase tracing: nested RAII spans, a Chrome trace_event JSON exporter,
+// and a flat per-phase rollup (count / total / quantiles per span name).
+//
+// Recording model: a ScopedSpan always measures wall-clock (it is the
+// project's replacement for ad-hoc util::Stopwatch timing — callers may
+// read elapsed_ms() even in fully disabled builds). What happens at span
+// end is layered:
+//   - obs::enabled():        the duration feeds the tracer's per-phase
+//                            rollup aggregate (histogram + totals);
+//   - obs::trace_enabled():  additionally, a complete ("ph":"X") event is
+//                            appended to the calling thread's buffer for
+//                            chrome://tracing / Perfetto export.
+// Event buffers are per-thread (one util::Mutex each, uncontended except
+// against an export) and owned by the tracer via shared_ptr, so a worker
+// thread that exits before the export — the ThreadPool teardown case —
+// leaves its events behind intact.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/config.hpp"
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+#include "util/mutex.hpp"
+#include "util/table.hpp"
+
+namespace idde::obs {
+
+/// One finished span, chrome trace_event "complete" flavour.
+struct TraceEvent {
+  std::string name;
+  std::string args;  ///< free-form detail, exported as args.detail
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  static Tracer& global();
+
+  /// Records one finished span (called by ~ScopedSpan; `start` is the
+  /// span's construction time). Rollup always, event buffer only when
+  /// trace_enabled().
+  void record(std::string_view name,
+              std::chrono::steady_clock::time_point start, double duration_ms,
+              std::string_view args) IDDE_EXCLUDES(mutex_);
+
+  /// Chrome trace_event document:
+  /// {"displayTimeUnit":"ms","traceEvents":[{name,cat,ph,ts,dur,pid,tid,
+  /// args},...]}. Events are sorted by ts for stable output.
+  [[nodiscard]] util::Json chrome_trace() IDDE_EXCLUDES(mutex_);
+
+  /// Writes chrome_trace() to `path`; returns false on I/O failure.
+  bool write_chrome_trace(const std::string& path) IDDE_EXCLUDES(mutex_);
+
+  /// Flat per-phase summary, one row per span name:
+  /// phase | count | total ms | mean | p50 | p90 | p99 | max.
+  [[nodiscard]] util::TextTable rollup_table() IDDE_EXCLUDES(mutex_);
+
+  /// The same rollup as JSON: {name: {count,total_ms,mean_ms,p50,...}}.
+  [[nodiscard]] util::Json rollup_json() IDDE_EXCLUDES(mutex_);
+
+  /// Drops all buffered events and rollup aggregates and re-anchors the
+  /// trace clock. Buffers cached by live threads are re-registered on
+  /// their next event (epoch check), so reset is safe at any quiescent
+  /// point — not concurrently with spans still ending.
+  void reset() IDDE_EXCLUDES(mutex_);
+
+ private:
+  struct ThreadBuffer {
+    util::Mutex mutex;
+    std::vector<TraceEvent> events IDDE_GUARDED_BY(mutex);
+    std::uint32_t tid = 0;
+  };
+
+  struct PhaseAggregate {
+    std::uint64_t count = 0;
+    double total_ms = 0.0;
+    double max_ms = 0.0;
+    Histogram histogram;  ///< of span durations, ms
+  };
+
+  /// The calling thread's buffer for the current epoch, registering a
+  /// fresh one if the cached pointer is stale. The registry lock is held
+  /// only for the buffer lookup; the caller appends events under the
+  /// buffer's own mutex afterwards, so the two locks never nest.
+  [[nodiscard]] std::shared_ptr<ThreadBuffer> local_buffer_locked()
+      IDDE_REQUIRES(mutex_);
+
+  mutable util::Mutex mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_ IDDE_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<PhaseAggregate>, std::less<>> rollup_
+      IDDE_GUARDED_BY(mutex_);
+  std::uint64_t epoch_ IDDE_GUARDED_BY(mutex_) = 1;
+  std::chrono::steady_clock::time_point origin_ IDDE_GUARDED_BY(mutex_) =
+      std::chrono::steady_clock::now();
+};
+
+/// RAII phase span. Cheap when telemetry is off: the constructor snapshots
+/// the runtime switches once; a disabled span is a steady_clock read.
+class ScopedSpan {
+ public:
+  /// `name` must outlive the span (string literals; a caller-scoped
+  /// std::string for dynamic names).
+  explicit ScopedSpan(std::string_view name) : name_(name) {
+#if IDDE_OBS
+    recording_ = enabled();
+#endif
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  /// As above with a detail string, exported as the event's args.detail.
+  ScopedSpan(std::string_view name, std::string args) : ScopedSpan(name) {
+#if IDDE_OBS
+    if (recording_) args_ = std::move(args);
+#else
+    (void)args;
+#endif
+  }
+
+  ~ScopedSpan() {
+#if IDDE_OBS
+    if (recording_) {
+      Tracer::global().record(name_, start_, elapsed_ms(), args_);
+    }
+#endif
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Wall-clock since construction — works regardless of any toggle, so
+  /// spans can replace Stopwatch where the elapsed time is a result.
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  /// Attaches/overrides the args detail after construction (e.g. once a
+  /// result count is known). No-op unless the span is recording.
+  void set_args(std::string args) {
+#if IDDE_OBS
+    if (recording_) args_ = std::move(args);
+#else
+    (void)args;
+#endif
+  }
+
+ private:
+  std::string_view name_;
+  std::chrono::steady_clock::time_point start_;
+#if IDDE_OBS
+  std::string args_;
+  bool recording_ = false;
+#endif
+};
+
+}  // namespace idde::obs

@@ -6,9 +6,9 @@
 #include "baselines/saa.hpp"
 #include "core/idde_g.hpp"
 #include "core/validation.hpp"
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
-#include "util/timer.hpp"
 
 namespace idde::sim {
 
@@ -16,11 +16,18 @@ RunRecord run_approach(const model::ProblemInstance& instance,
                        const core::Approach& approach, util::Rng& rng,
                        bool require_valid,
                        std::optional<core::Strategy>* strategy_out) {
-  util::Stopwatch stopwatch;
-  const core::Strategy strategy = approach.solve(instance, rng);
   RunRecord record;
-  record.solve_ms = stopwatch.elapsed_ms();
   record.approach = approach.name();
+  std::optional<core::Strategy> solved;
+  {
+    // The span is both the timer (solve_ms is a reported result) and the
+    // trace phase; the name string must outlive the span.
+    const std::string span_name = "solve." + record.approach;
+    const obs::ScopedSpan span(span_name);
+    solved.emplace(approach.solve(instance, rng));
+    record.solve_ms = span.elapsed_ms();
+  }
+  const core::Strategy& strategy = *solved;
   record.metrics = core::evaluate(instance, strategy);
   record.game_rounds = strategy.game_rounds;
   record.game_moves = strategy.game_moves;

@@ -1,5 +1,6 @@
 #include "sim/sweep.hpp"
 
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/mutex.hpp"
 
@@ -18,6 +19,7 @@ std::vector<PointResult> run_sweep(
 
   for (std::size_t p = 0; p < points.size(); ++p) {
     const SweepPoint& point = points[p];
+    IDDE_OBS_SPAN_ARGS("sweep.point", point.label);
     const model::InstanceBuilder builder(point.params);
 
     // Per-(approach, repetition) samples.
@@ -46,6 +48,10 @@ std::vector<PointResult> run_sweep(
                                           seed ^ options.fault_seed_offset);
       }
       for (std::size_t a = 0; a < a_count; ++a) {
+        // One cell = (point, approach, repetition); the args string makes
+        // the trace timeline navigable in Perfetto.
+        IDDE_OBS_SPAN_ARGS("sweep.cell",
+                           point.label + " / " + approaches[a]->name());
         util::Rng rng(seed ^ (0xabcd0000ULL + a));
         if (!faults_active) {
           records.push_back(run_approach(instance, *approaches[a], rng));

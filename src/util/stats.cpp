@@ -73,8 +73,13 @@ double percentile(std::span<const double> samples, double p) {
   if (sorted.size() == 1) return sorted.front();
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  if (lo + 1 >= sorted.size()) return sorted.back();  // p == 100 exactly
+  const std::size_t hi = lo + 1;
   const double frac = rank - static_cast<double>(lo);
+  // Exact ranks and equal endpoints return the sample itself: no fp drift
+  // on duplicates, and an infinite sample (cloud outage, unreachable
+  // replica) never poisons a finite quantile through 0 * inf = NaN.
+  if (frac == 0.0 || sorted[lo] == sorted[hi]) return sorted[lo];
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 

@@ -42,6 +42,11 @@ void ThreadPool::wait_idle() {
   while (in_flight_ != 0) all_done_.wait(mutex_);
 }
 
+std::size_t ThreadPool::queued() {
+  const MutexLock lock(mutex_);
+  return queue_.size();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

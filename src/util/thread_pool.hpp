@@ -41,6 +41,11 @@ class ThreadPool {
   /// Blocks until every submitted task has finished.
   void wait_idle() IDDE_EXCLUDES(mutex_);
 
+  /// Tasks submitted but not yet picked up by a worker — an instantaneous
+  /// backlog reading for telemetry (racy by nature: the true depth may
+  /// change before the caller uses it).
+  [[nodiscard]] std::size_t queued() IDDE_EXCLUDES(mutex_);
+
  private:
   void worker_loop() IDDE_EXCLUDES(mutex_);
 

@@ -5,7 +5,9 @@
 //     reuse, exception propagation, concurrent parallel_for callers),
 //   - core::IddeUGame's parallel dirty-set refresh (field and version
 //     counters shared read-only across workers),
-//   - util::logging's global level + write serialisation.
+//   - util::logging's global level + write serialisation,
+//   - obs:: telemetry (striped counters, histogram CAS folds, registry
+//     lookups, tracer buffers) hammered concurrently with scrapes.
 // Tests may use std::thread directly: tests/ is outside the project-lint
 // scope that requires util::ThreadPool elsewhere, and raw threads are the
 // point here — they drive the pool from many directions at once.
@@ -19,6 +21,7 @@
 
 #include "core/game.hpp"
 #include "model/instance_builder.hpp"
+#include "obs/obs.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
@@ -223,6 +226,113 @@ TEST(LoggingStress, ConcurrentWritersAndLevelFlips) {
   for (auto& writer : writers) writer.join();
   flipper.join();
   util::set_log_level(before);
+}
+
+// --- obs telemetry --------------------------------------------------------
+
+// Writers on every stripe plus a scraper reading mid-flight: the striped
+// counter and the histogram's CAS-folded min/max/sum are all relaxed
+// atomics — any non-atomic shortcut shows up as a TSan race, and the final
+// quiescent totals must still be exact.
+TEST(ObsStress, CounterAndHistogramHammerWithConcurrentScrape) {
+  obs::Counter counter;
+  obs::Histogram histogram;
+  constexpr std::size_t kWriters = 8;
+  constexpr std::size_t kOpsPerWriter = 4000;
+
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)counter.value();
+      const obs::HistogramSnapshot snap = histogram.snapshot();
+      // Mid-flight snapshots are relaxed but never torn or impossible.
+      EXPECT_LE(snap.count, kWriters * kOpsPerWriter);
+      if (snap.count > 0) {
+        EXPECT_LE(snap.min, snap.max);
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (std::size_t i = 0; i < kOpsPerWriter; ++i) {
+        counter.add(1);
+        histogram.record(static_cast<double>(w * kOpsPerWriter + i % 97) +
+                         0.5);
+      }
+    });
+  }
+  for (auto& writer : writers) writer.join();
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+
+  EXPECT_EQ(counter.value(), kWriters * kOpsPerWriter);
+  const obs::HistogramSnapshot final_snap = histogram.snapshot();
+  EXPECT_EQ(final_snap.count, kWriters * kOpsPerWriter);
+  EXPECT_EQ(final_snap.min, 0.5);
+}
+
+// Racing registry lookups on overlapping names while another thread
+// scrapes and a third resets: the name->metric map is the one mutex-backed
+// structure in the write path; handed-out references must stay valid
+// through all of it.
+TEST(ObsStress, RegistryLookupScrapeResetRace) {
+  obs::MetricsRegistry registry;
+  constexpr std::size_t kThreads = 6;
+  constexpr std::size_t kOps = 2000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kOps; ++i) {
+        registry.counter(i % 2 == 0 ? "stress.shared" : "stress.other")
+            .add(1);
+        registry.histogram("stress.hist").record(static_cast<double>(t));
+        if (i % 64 == 0) (void)registry.scrape();
+        if (t == 0 && i % 512 == 0) registry.reset();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Post-reset totals are unpredictable; liveness + race-freedom (under
+  // TSan) are the assertions. One more write proves references survived.
+  registry.counter("stress.shared").add(1);
+  EXPECT_GE(registry.counter("stress.shared").value(), 1u);
+}
+
+// Spans ending on pool workers while the main thread exports: per-thread
+// buffers are registered/drained under their own mutexes, and worker
+// threads may exit before the export reads their events.
+TEST(ObsStress, SpansFromDyingWorkersSurviveConcurrentExport) {
+  obs::set_trace_enabled(true);
+  obs::reset_all();
+  constexpr std::size_t kRounds = 8;
+  constexpr std::size_t kSpansPerRound = 64;
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    {
+      ThreadPool pool(4);
+      for (std::size_t s = 0; s < kSpansPerRound; ++s) {
+        pool.submit([] { const obs::ScopedSpan span("stress.worker"); });
+      }
+      // Export races the workers (and their teardown at scope exit).
+      (void)obs::Tracer::global().chrome_trace();
+    }
+    (void)obs::Tracer::global().rollup_json();
+  }
+#if IDDE_OBS
+  // chrome_trace() snapshots without draining; the rollup aggregate keeps
+  // the authoritative total across every round.
+  const util::Json rollup = obs::Tracer::global().rollup_json();
+  ASSERT_NE(rollup.find("stress.worker"), nullptr);
+  EXPECT_EQ(rollup.at("stress.worker").at("count").as_int(),
+            static_cast<std::int64_t>(kRounds * kSpansPerRound));
+#endif
+  obs::set_trace_enabled(false);
+  obs::set_enabled(false);
+  obs::reset_all();
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 // RunningStats / summaries / percentile tests.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "util/stats.hpp"
@@ -107,6 +108,37 @@ TEST(Percentile, InterpolatesBetweenValues) {
 TEST(Percentile, SingleElement) {
   const std::vector<double> xs{7.0};
   EXPECT_DOUBLE_EQ(idde::util::percentile(xs, 37.0), 7.0);
+  EXPECT_DOUBLE_EQ(idde::util::percentile(xs, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(idde::util::percentile(xs, 100.0), 7.0);
+}
+
+TEST(Percentile, DuplicatesAreExact) {
+  // Equal-endpoint interpolation must return the sample bit-for-bit, with
+  // no (1-frac)*x + frac*x rounding residue.
+  const std::vector<double> xs{4.2, 4.2, 4.2, 4.2, 4.2};
+  for (const double p : {0.0, 12.5, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(idde::util::percentile(xs, p), 4.2);
+  }
+}
+
+TEST(Percentile, ExactRankReturnsSample) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  // rank = p/100 * 4 lands exactly on an index at multiples of 25.
+  EXPECT_EQ(idde::util::percentile(xs, 25.0), 2.0);
+  EXPECT_EQ(idde::util::percentile(xs, 75.0), 4.0);
+}
+
+TEST(Percentile, InfiniteTailDoesNotPoisonFiniteQuantiles) {
+  // A degraded route can contribute +inf latency. p=100 must be +inf, but
+  // quantiles whose rank lands on the finite prefix must stay finite —
+  // the old lerp produced NaN via 0 * inf at exact ranks.
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, inf};
+  EXPECT_EQ(idde::util::percentile(xs, 100.0), inf);
+  EXPECT_EQ(idde::util::percentile(xs, 75.0), 4.0);
+  EXPECT_EQ(idde::util::percentile(xs, 50.0), 3.0);
+  const std::vector<double> all_inf{inf, inf};
+  EXPECT_EQ(idde::util::percentile(all_inf, 50.0), inf);
 }
 
 TEST(MeanOf, EmptyIsZero) {

@@ -15,10 +15,13 @@
 #include <sstream>
 #include <string>
 
+#include <iostream>
+
 #include "core/metrics.hpp"
 #include "core/strategy_io.hpp"
 #include "core/validation.hpp"
 #include "model/instance_io.hpp"
+#include "obs/obs.hpp"
 #include "sim/paper.hpp"
 #include "sim/runner.hpp"
 #include "sim/scenario.hpp"
@@ -91,7 +94,17 @@ int cmd_solve(int argc, const char* const* argv) {
   cli.add_double("ip-budget-ms", &ip_budget_ms, "IDDE-IP budget");
   cli.add_size("threads", &threads,
                "allocation-game worker threads (1 = serial, 0 = hardware)");
+  std::string trace_out;
+  std::string metrics_out;
+  cli.add_string("trace-out", &trace_out,
+                 "write a chrome://tracing JSON of the solve here");
+  cli.add_string("metrics-out", &metrics_out,
+                 "write the telemetry scrape (counters/histograms/spans) here");
   if (!cli.parse(argc, argv)) return 0;
+  // Either output implies telemetry; --trace-out additionally buffers the
+  // span events for the timeline export.
+  if (!trace_out.empty() || !metrics_out.empty()) obs::set_enabled(true);
+  if (!trace_out.empty()) obs::set_trace_enabled(true);
 
   const model::ProblemInstance instance =
       model::instance_from_string(read_file(instance_path));
@@ -113,6 +126,22 @@ int cmd_solve(int argc, const char* const* argv) {
   write_file(out,
              core::strategy_to_string(approach->solve(instance, rng2), 1));
   std::printf("wrote %s\n", out.c_str());
+
+  if (obs::enabled()) {
+    std::printf("\nper-phase rollup:\n");
+    obs::Tracer::global().rollup_table().print(std::cout);
+  }
+  if (!metrics_out.empty()) {
+    write_file(metrics_out, obs::telemetry_json().dump(1) + "\n");
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    if (!obs::Tracer::global().write_chrome_trace(trace_out)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", trace_out.c_str());
+  }
   return 0;
 }
 

@@ -20,6 +20,11 @@ clang-tidy cannot know about:
                 and src/des/: wall-clock sleeps break seeded determinism
                 and slow CI; simulated time belongs in the DES clock, and
                 any real backoff belongs behind a util/ wrapper.
+  naked-timing  steady_clock/system_clock/high_resolution_clock ::now()
+                outside src/util/ and src/obs/: ad-hoc timing bypasses the
+                telemetry layer; wrap the region in an obs::ScopedSpan
+                (src/obs/trace.hpp) — elapsed_ms() replaces the manual
+                delta and the span feeds the phase rollup and traces.
 
 Scope: src/ bench/ tools/ examples/ (tests/ may use raw std::thread — the
 concurrency stress suite drives the pool with them on purpose). src/util/
@@ -49,6 +54,9 @@ RAND_PATTERN = re.compile(r"(?<![\w:])s?rand\s*\(")
 ASSERT_PATTERN = re.compile(r"(?<![\w:.])assert\s*\(")
 USING_STD_PATTERN = re.compile(r"\busing\s+namespace\s+std\b")
 SLEEP_PATTERN = re.compile(r"\bstd::this_thread::sleep_(for|until)\b")
+TIMING_PATTERN = re.compile(
+    r"\b(steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\("
+)
 ALLOW_PATTERN = re.compile(r"//\s*lint:\s*allow\((?P<rules>[\w\-, ]+)\)")
 
 LINE_COMMENT = re.compile(r"//.*$")
@@ -81,6 +89,7 @@ def scan_file(path: Path) -> list[tuple[Path, int, str, str]]:
     rel = path.relative_to(REPO_ROOT)
     in_util = rel.parts[:2] == ("src", "util")
     sleep_exempt = rel.parts[:2] in (("src", "util"), ("src", "des"))
+    timing_exempt = rel.parts[:2] in (("src", "util"), ("src", "obs"))
     is_header = path.suffix in HEADER_SUFFIXES
     in_block_comment = False
 
@@ -124,6 +133,13 @@ def scan_file(path: Path) -> list[tuple[Path, int, str, str]]:
                 "naked-sleep",
                 "wall-clock sleep outside src/util//src/des/ breaks seeded "
                 "determinism; advance simulated time or wrap it in util/",
+            )
+        if not timing_exempt and TIMING_PATTERN.search(code):
+            report(
+                "naked-timing",
+                "raw clock timing outside src/util//src/obs/; use "
+                "obs::ScopedSpan (obs/trace.hpp) so the measurement feeds "
+                "the phase rollup and chrome traces",
             )
     return findings
 

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Schema-validates a Chrome trace_event JSON emitted by obs::Tracer.
+
+The exporter (src/obs/trace.cpp) promises the subset of the trace_event
+format that chrome://tracing and Perfetto accept without warnings:
+
+  {"displayTimeUnit": "ms",
+   "traceEvents": [{"name": str, "cat": "idde", "ph": "X",
+                    "ts": us >= 0, "dur": us >= 0, "pid": 1, "tid": int,
+                    "args": {"detail": str}?}, ...]}
+
+with traceEvents sorted by ts. tests/test_obs.cpp checks the same
+invariants in-process; this script is the CI artifact gate (and a handy
+sanity check for traces captured by hand).
+
+Usage: validate_trace.py TRACE.json [--min-events N]
+Exit status 0 when valid, 1 with a diagnostic otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import numbers
+import sys
+from pathlib import Path
+
+
+def fail(message: str) -> None:
+    print(f"validate_trace: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_event(index: int, event: object) -> float:
+    where = f"traceEvents[{index}]"
+    if not isinstance(event, dict):
+        fail(f"{where} is not an object")
+    for key in ("name", "cat", "ph", "ts", "dur", "pid", "tid"):
+        if key not in event:
+            fail(f"{where} is missing '{key}'")
+    if not isinstance(event["name"], str) or not event["name"]:
+        fail(f"{where}.name must be a non-empty string")
+    if event["cat"] != "idde":
+        fail(f"{where}.cat must be 'idde', got {event['cat']!r}")
+    if event["ph"] != "X":
+        fail(f"{where}.ph must be 'X' (complete events only)")
+    for key in ("ts", "dur"):
+        value = event[key]
+        if not isinstance(value, numbers.Real) or isinstance(value, bool):
+            fail(f"{where}.{key} must be a number")
+        if value < 0:
+            fail(f"{where}.{key} must be >= 0, got {value}")
+    if event["pid"] != 1:
+        fail(f"{where}.pid must be 1")
+    tid = event["tid"]
+    if not isinstance(tid, int) or isinstance(tid, bool) or tid < 0:
+        fail(f"{where}.tid must be a non-negative integer")
+    if "args" in event:
+        args = event["args"]
+        if not isinstance(args, dict):
+            fail(f"{where}.args must be an object")
+        if "detail" in args and not isinstance(args["detail"], str):
+            fail(f"{where}.args.detail must be a string")
+    return float(event["ts"])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", type=Path, help="trace JSON path")
+    parser.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="fail unless at least this many events are present (default 1)",
+    )
+    options = parser.parse_args()
+
+    try:
+        doc = json.loads(options.trace.read_text())
+    except OSError as error:
+        fail(f"cannot read {options.trace}: {error}")
+    except json.JSONDecodeError as error:
+        fail(f"{options.trace} is not valid JSON: {error}")
+
+    if not isinstance(doc, dict):
+        fail("top level must be an object")
+    if doc.get("displayTimeUnit") != "ms":
+        fail("displayTimeUnit must be 'ms'")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("traceEvents must be an array")
+    if len(events) < options.min_events:
+        fail(f"expected >= {options.min_events} events, found {len(events)}")
+
+    last_ts = -1.0
+    for index, event in enumerate(events):
+        ts = validate_event(index, event)
+        if ts < last_ts:
+            fail(f"traceEvents[{index}].ts out of order ({ts} < {last_ts})")
+        last_ts = ts
+
+    names = {event["name"] for event in events}
+    print(
+        f"validate_trace: {options.trace}: {len(events)} event(s), "
+        f"{len(names)} phase(s) — ok"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
