@@ -36,3 +36,5 @@ idde_bench(ext_contention)
 target_link_libraries(ext_contention PRIVATE idde_des)
 idde_bench(ext_resilience)
 target_link_libraries(ext_resilience PRIVATE idde_des idde_fault)
+idde_bench(ext_overload)
+target_link_libraries(ext_overload PRIVATE idde_des idde_fault idde_qos)

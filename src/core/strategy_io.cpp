@@ -1,6 +1,6 @@
 #include "core/strategy_io.hpp"
 
-#include "util/assert.hpp"
+#include "util/format.hpp"
 
 namespace idde::core {
 
@@ -40,26 +40,42 @@ Json strategy_to_json(const Strategy& strategy) {
 
 Strategy strategy_from_json(const model::ProblemInstance& instance,
                             const Json& json) {
-  IDDE_ASSERT(json.string_or("format", "") == "idde-strategy-v1",
-              "unknown strategy format");
+  if (json.string_or("format", "") != "idde-strategy-v1") {
+    throw util::JsonError("unknown strategy format (want idde-strategy-v1)");
+  }
   const auto& allocation_json = json.at("allocation").as_array();
-  IDDE_ASSERT(allocation_json.size() == instance.user_count(),
-              "allocation size mismatch");
+  if (allocation_json.size() != instance.user_count()) {
+    throw util::JsonError(util::format("allocation has {} slots, want {}",
+                                       allocation_json.size(),
+                                       instance.user_count()));
+  }
 
   AllocationProfile allocation(instance.user_count(), kUnallocated);
   for (std::size_t j = 0; j < allocation_json.size(); ++j) {
     const Json& slot = allocation_json[j];
     if (slot.is_null()) continue;
     allocation[j] = ChannelSlot{
-        static_cast<std::size_t>(slot.at("server").as_int()),
-        static_cast<std::size_t>(slot.at("channel").as_int()),
+        util::as_index(slot.at("server"), instance.server_count(),
+                       "allocation server"),
+        util::as_index(slot.at("channel"),
+                       instance.radio_env().channels_per_server,
+                       "allocation channel"),
     };
   }
 
   DeliveryProfile delivery(instance);
   for (const Json& placement : json.at("placements").as_array()) {
-    delivery.place(static_cast<std::size_t>(placement.at("server").as_int()),
-                   static_cast<std::size_t>(placement.at("item").as_int()));
+    const std::size_t server = util::as_index(
+        placement.at("server"), instance.server_count(), "placement server");
+    const std::size_t item = util::as_index(
+        placement.at("item"), instance.data_count(), "placement item");
+    // place() aborts on infeasibility; an untrusted document must not.
+    if (!delivery.can_place(server, item)) {
+      throw util::JsonError(util::format(
+          "placement (server {}, item {}) is a duplicate or exceeds storage",
+          server, item));
+    }
+    delivery.place(server, item);
   }
 
   Strategy strategy{std::move(allocation), std::move(delivery)};

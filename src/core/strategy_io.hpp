@@ -13,9 +13,10 @@ namespace idde::core {
 
 [[nodiscard]] util::Json strategy_to_json(const Strategy& strategy);
 
-/// Rebuilds a strategy against `instance`. Placements are re-applied
-/// through DeliveryProfile::place, so a stored strategy that violates the
-/// storage constraint of this instance aborts rather than loading silently.
+/// Rebuilds a strategy against `instance`. Throws util::JsonError on
+/// malformed input, out-of-range indices, and placements that violate the
+/// storage constraint of this instance (checked via can_place before
+/// applying) — bad documents never abort or load silently wrong.
 [[nodiscard]] Strategy strategy_from_json(
     const model::ProblemInstance& instance, const util::Json& json);
 

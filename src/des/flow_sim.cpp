@@ -6,6 +6,7 @@
 #include <map>
 #include <queue>
 
+#include "des/fluid.hpp"
 #include "fault/injector.hpp"
 #include "net/shortest_path.hpp"
 #include "obs/obs.hpp"
@@ -14,62 +15,8 @@
 
 namespace idde::des {
 
-namespace {
-
-/// One routed transfer in flight.
-struct ActiveFlow {
-  std::size_t record_index;
-  double remaining_mb;
-  std::vector<std::size_t> links;
-  double rate_mbps = 0.0;
-};
-
-/// Max-min fair rates for the active flows over shared links (iterative
-/// water-filling: repeatedly freeze the flows of the tightest link).
-void assign_max_min_rates(std::vector<ActiveFlow>& flows,
-                          const std::vector<double>& capacities) {
-  std::vector<double> remaining_cap = capacities;
-  std::vector<std::size_t> unfrozen_count(capacities.size(), 0);
-  std::vector<bool> frozen(flows.size(), false);
-  for (const ActiveFlow& flow : flows) {
-    for (const std::size_t l : flow.links) ++unfrozen_count[l];
-  }
-  std::size_t flows_left = flows.size();
-  while (flows_left > 0) {
-    // Tightest link among those still carrying unfrozen flows.
-    double best_share = std::numeric_limits<double>::infinity();
-    std::size_t best_link = static_cast<std::size_t>(-1);
-    for (std::size_t l = 0; l < capacities.size(); ++l) {
-      if (unfrozen_count[l] == 0) continue;
-      const double share =
-          remaining_cap[l] / static_cast<double>(unfrozen_count[l]);
-      if (share < best_share) {
-        best_share = share;
-        best_link = l;
-      }
-    }
-    IDDE_ASSERT(best_link != static_cast<std::size_t>(-1),
-                "active flow without links");
-    for (std::size_t f = 0; f < flows.size(); ++f) {
-      if (frozen[f]) continue;
-      const auto& ls = flows[f].links;
-      if (std::find(ls.begin(), ls.end(), best_link) == ls.end()) continue;
-      flows[f].rate_mbps = best_share;
-      frozen[f] = true;
-      --flows_left;
-      for (const std::size_t l : ls) {
-        remaining_cap[l] -= best_share;
-        --unfrozen_count[l];
-      }
-      // Guard fp residue.
-      for (const std::size_t l : ls) {
-        remaining_cap[l] = std::max(remaining_cap[l], 0.0);
-      }
-    }
-  }
-}
-
-}  // namespace
+using detail::ActiveFlow;
+using detail::assign_max_min_rates;
 
 FlowLevelSimulator::FlowLevelSimulator(const model::ProblemInstance& instance,
                                        FlowSimOptions options)
@@ -106,8 +53,11 @@ std::size_t FlowLevelSimulator::link_between(std::size_t a,
 FlowSimResult FlowLevelSimulator::run(const core::Strategy& strategy,
                                       util::Rng& rng) const {
   IDDE_OBS_SPAN("des.run");
-  // Zero-cost-when-disabled: a null or inert plan takes the exact
-  // pre-fault code path (same rng draws, same float ops, same results).
+  // Zero-cost-when-disabled: a null or inert config/plan takes the exact
+  // pre-feature code path (same rng draws, same float ops, same results).
+  if (options_.qos != nullptr && !options_.qos->inert()) {
+    return run_with_qos(strategy, rng);
+  }
   if (options_.fault_plan == nullptr || options_.fault_plan->inert()) {
     return run_fault_free(strategy, rng);
   }
@@ -442,14 +392,31 @@ FlowSimResult FlowLevelSimulator::run_with_faults(
   return result;
 }
 
-void FlowLevelSimulator::finalize(FlowSimResult& result) {
+void FlowLevelSimulator::finalize(FlowSimResult& result, double deadline_s,
+                                  double window_s) {
   std::vector<double> durations_ms;
   durations_ms.reserve(result.flows.size());
+  std::array<std::vector<double>, core::kFallbackTiers> tier_durations_ms;
   double makespan = 0.0;
   std::size_t first_try_primary = 0;
-  for (const FlowRecord& record : result.flows) {
-    durations_ms.push_back(record.duration_s() * 1e3);
+  double queue_wait_s_sum = 0.0;
+  result.qos.offered = result.flows.size();
+  for (FlowRecord& record : result.flows) {
+    if (record.outcome == FlowOutcome::kShed) {
+      ++result.qos.shed;
+      continue;
+    }
+    if (record.outcome == FlowOutcome::kRejected) {
+      ++result.qos.rejected;
+      continue;
+    }
+    ++result.qos.admitted;
+    const double duration_ms = record.duration_s() * 1e3;
+    durations_ms.push_back(duration_ms);
+    tier_durations_ms[static_cast<std::size_t>(record.tier)].push_back(
+        duration_ms);
     makespan = std::max(makespan, record.completion_s);
+    queue_wait_s_sum += record.queue_wait_s;
     if (record.local_hit) ++result.local_hits;
     if (record.from_cloud) ++result.cloud_fetches;
     if (record.forced_cloud) ++result.forced_cloud_fetches;
@@ -458,7 +425,18 @@ void FlowLevelSimulator::finalize(FlowSimResult& result) {
     if (record.tier == core::FallbackTier::kPrimary && record.retries == 0) {
       ++first_try_primary;
     }
+    record.deadline_missed =
+        deadline_s > 0.0 && record.duration_s() > deadline_s;
+    if (record.deadline_missed) {
+      ++result.qos.deadline_misses;
+    } else {
+      ++result.qos.goodput_flows;
+    }
   }
+  IDDE_ASSERT(result.qos.admitted + result.qos.shed + result.qos.rejected ==
+                  result.qos.offered,
+              "overload accounting leak: admitted + shed + rejected != "
+              "offered");
   if (!durations_ms.empty()) {
     result.mean_duration_ms = util::mean_of(durations_ms);
     result.p95_duration_ms = util::percentile(durations_ms, 95.0);
@@ -466,9 +444,25 @@ void FlowLevelSimulator::finalize(FlowSimResult& result) {
     result.max_duration_ms =
         *std::max_element(durations_ms.begin(), durations_ms.end());
     result.availability = static_cast<double>(first_try_primary) /
-                          static_cast<double>(result.flows.size());
+                          static_cast<double>(durations_ms.size());
+    result.qos.mean_queue_wait_ms =
+        queue_wait_s_sum / static_cast<double>(durations_ms.size()) * 1e3;
   }
   result.makespan_s = makespan;
+  for (std::size_t t = 0; t < core::kFallbackTiers; ++t) {
+    if (tier_durations_ms[t].empty()) continue;
+    result.qos.tier_p50_ms[t] = util::percentile(tier_durations_ms[t], 50.0);
+    result.qos.tier_p99_ms[t] = util::percentile(tier_durations_ms[t], 99.0);
+  }
+  // Throughput rates are normalised by the offered-load window so they stay
+  // comparable across load multipliers; makespan is the closed-loop proxy.
+  const double period = window_s > 0.0 ? window_s : makespan;
+  if (period > 0.0) {
+    result.qos.goodput_rps =
+        static_cast<double>(result.qos.goodput_flows) / period;
+    result.qos.offered_rps =
+        static_cast<double>(result.qos.offered) / period;
+  }
 
   IDDE_OBS_COUNT("des.runs_total", 1);
   IDDE_OBS_COUNT("des.flows_total", result.flows.size());
@@ -477,11 +471,26 @@ void FlowLevelSimulator::finalize(FlowSimResult& result) {
   IDDE_OBS_COUNT("des.local_hits_total", result.local_hits);
   IDDE_OBS_COUNT("des.cloud_fetches_total", result.cloud_fetches);
   IDDE_OBS_COUNT("des.rate_recomputations_total", result.rate_recomputations);
+  IDDE_OBS_COUNT("qos.offered_total", result.qos.offered);
+  IDDE_OBS_COUNT("qos.shed_total", result.qos.shed);
+  IDDE_OBS_COUNT("qos.rejected_total", result.qos.rejected);
+  IDDE_OBS_COUNT("qos.deadline_misses_total", result.qos.deadline_misses);
+  IDDE_OBS_COUNT("qos.retries_denied_total", result.qos.retries_denied);
+  IDDE_OBS_COUNT("qos.breaker_opens_total", result.qos.breaker_opens);
 #if IDDE_OBS
   if (obs::enabled()) {
     obs::Histogram& duration =
         obs::MetricsRegistry::global().histogram("des.flow_duration_ms");
     for (const double ms : durations_ms) duration.record(ms);
+    static constexpr const char* kTierHistograms[core::kFallbackTiers] = {
+        "qos.tier_duration_ms.primary", "qos.tier_duration_ms.replica",
+        "qos.tier_duration_ms.cloud"};
+    for (std::size_t t = 0; t < core::kFallbackTiers; ++t) {
+      if (tier_durations_ms[t].empty()) continue;
+      obs::Histogram& tier_hist =
+          obs::MetricsRegistry::global().histogram(kTierHistograms[t]);
+      for (const double ms : tier_durations_ms[t]) tier_hist.record(ms);
+    }
   }
 #endif
 }

@@ -20,16 +20,27 @@
 // max_retries/timeout_s), and the cloud leg stalls through brown-out
 // intervals. A null or inert plan takes the exact pre-fault code path —
 // results are bit-identical to a plan-less run.
+//
+// With a qos::QosConfig attached (FlowSimOptions::qos) the replay becomes
+// overload-aware (DESIGN.md §12): arrivals are generated open-loop so
+// offered load can exceed capacity, every request passes a per-server
+// bounded admission queue with pluggable shedding, retries draw from a
+// global token-bucket budget, and per-source circuit breakers force
+// cloud-direct delivery while open. Composes with a fault plan (chaos
+// mode: faults + overload simultaneously). A null or inert config takes
+// the exact pre-QoS code path — bit-identical to a config-less run.
 #pragma once
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/delivery.hpp"
 #include "core/strategy.hpp"
 #include "fault/fault_plan.hpp"
 #include "model/instance.hpp"
+#include "qos/config.hpp"
 #include "util/random.hpp"
 
 namespace idde::des {
@@ -55,6 +66,17 @@ struct FlowSimOptions {
   std::size_t max_retries = 8;
   /// A request older than this is forced to the cloud on its next abort.
   double timeout_s = 120.0;
+
+  /// Optional overload-protection config (not owned; must outlive the run).
+  /// Null or inert = the pre-QoS replay, bit for bit.
+  const qos::QosConfig* qos = nullptr;
+};
+
+/// What finally happened to one offered arrival.
+enum class FlowOutcome : std::uint8_t {
+  kServed = 0,    ///< admitted and delivered (any tier)
+  kShed = 1,      ///< dropped by deadline-aware shedding
+  kRejected = 2,  ///< dropped by reject-newest on a full queue
 };
 
 struct FlowRecord {
@@ -69,12 +91,39 @@ struct FlowRecord {
   std::size_t hops = 0;
   // Fault-mode diagnostics (defaults describe the fault-free replay).
   std::size_t retries = 0;    ///< aborted attempts before success
-  bool forced_cloud = false;  ///< hit the retry/timeout cap
+  bool forced_cloud = false;  ///< hit the retry/timeout cap (or an empty
+                              ///< retry budget / unmeetable retry deadline)
   core::FallbackTier tier = core::FallbackTier::kPrimary;
+  // QoS-mode diagnostics (defaults describe the pre-QoS replay).
+  FlowOutcome outcome = FlowOutcome::kServed;
+  double queue_wait_s = 0.0;     ///< admission-queue wait before service
+  bool deadline_missed = false;  ///< served, but after the SLO deadline
+};
+
+/// SLO accounting of one run. For a run without an active QosConfig the
+/// invariant collapses to offered == admitted == flows.size().
+struct QosStats {
+  std::size_t offered = 0;    ///< arrivals generated (open- or closed-loop)
+  std::size_t admitted = 0;   ///< started service (== served: the schedule
+                              ///< is finite, so every admitted request ends)
+  std::size_t shed = 0;       ///< dropped by deadline-aware shedding
+  std::size_t rejected = 0;   ///< dropped by reject-newest on a full queue
+  std::size_t deadline_misses = 0;  ///< served but past the deadline
+  std::size_t goodput_flows = 0;    ///< served within the deadline
+  /// goodput_flows / arrival window — comparable across load multipliers.
+  double goodput_rps = 0.0;
+  double offered_rps = 0.0;
+  std::size_t retries_denied = 0;  ///< retry-budget bucket was empty
+  std::size_t breaker_opens = 0;   ///< breaker trips (closed/half-open -> open)
+  double mean_queue_wait_ms = 0.0;
+  /// Per-fallback-tier latency percentiles over served flows (0 when the
+  /// tier served nothing).
+  std::array<double, core::kFallbackTiers> tier_p50_ms{};
+  std::array<double, core::kFallbackTiers> tier_p99_ms{};
 };
 
 struct FlowSimResult {
-  std::vector<FlowRecord> flows;          ///< one per request
+  std::vector<FlowRecord> flows;          ///< one per offered arrival
   double mean_duration_ms = 0.0;          ///< the DES analogue of L_avg
   double p95_duration_ms = 0.0;
   double p99_duration_ms = 0.0;           ///< degraded tail (faults live here)
@@ -89,6 +138,9 @@ struct FlowSimResult {
   std::size_t retry_count = 0;          ///< total aborted attempts
   std::size_t forced_cloud_fetches = 0;
   std::array<std::size_t, core::kFallbackTiers> tier_counts{};
+  /// Overload/SLO accounting. Trivially consistent (offered == admitted,
+  /// zero shed/rejected) for a run without an active QosConfig.
+  QosStats qos;
 };
 
 class FlowLevelSimulator {
@@ -119,7 +171,14 @@ class FlowLevelSimulator {
                                              util::Rng& rng) const;
   [[nodiscard]] FlowSimResult run_with_faults(const core::Strategy& strategy,
                                               util::Rng& rng) const;
-  static void finalize(FlowSimResult& result);
+  /// The overload-aware engine (flow_sim_qos.cpp): admission + shedding +
+  /// retry budget + breakers, composed with an optional fault plan.
+  [[nodiscard]] FlowSimResult run_with_qos(const core::Strategy& strategy,
+                                           util::Rng& rng) const;
+  /// `deadline_s` > 0 enables goodput/deadline accounting; `window_s` is
+  /// the offered-load period the rates are normalised by (0 = makespan).
+  static void finalize(FlowSimResult& result, double deadline_s = 0.0,
+                       double window_s = 0.0);
 };
 
 }  // namespace idde::des

@@ -1,0 +1,531 @@
+// The overload-aware DES engine (DESIGN.md §12).
+//
+// run_with_qos composes four defenses around the fluid replay:
+//
+//   - arrivals may be generated open-loop (qos::generate_arrivals), so
+//     offered load decouples from the request matrix;
+//   - every fresh arrival passes a per-serving-server admission gate:
+//     bounded service slots, a bounded FIFO waiting room, and the
+//     configured shedding policy (deadline-aware drops use an optimistic
+//     fault-free Eq. 8 service estimate — anything it condemns is
+//     provably unservable in time);
+//   - aborted flows retry only while the global token-bucket budget
+//     covers them; a denied retry goes cloud-direct instead of feeding
+//     the storm;
+//   - per-server circuit breakers mask repeatedly-failing sources out of
+//     failover resolution (requests fall through to surviving replicas
+//     or the cloud while the breaker is open).
+//
+// Composes with a fault::FaultPlan (chaos mode): epochs, degraded routing
+// and cloud brown-outs come from the plan exactly as in run_with_faults.
+// The engine is single-threaded and every decision is a pure function of
+// (instance, strategy, options, rng state): event ties break on
+// (time, kind, record), so results are bit-identical across runs and
+// host thread counts.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "des/flow_sim.hpp"
+#include "des/fluid.hpp"
+#include "fault/injector.hpp"
+#include "net/shortest_path.hpp"
+#include "obs/obs.hpp"
+#include "qos/admission.hpp"
+#include "qos/arrivals.hpp"
+#include "qos/breaker.hpp"
+#include "qos/retry_budget.hpp"
+#include "util/assert.hpp"
+
+namespace idde::des {
+
+namespace {
+
+using detail::ActiveFlow;
+using detail::assign_max_min_rates;
+
+/// Event kinds, in tie-break order at equal times: releases run before
+/// admissions so a slot freed at t is available to an arrival at t.
+enum class EventKind : std::uint8_t {
+  kLocalDone = 0,   ///< timed local service completed
+  kLocalAbort = 1,  ///< serving server died mid local service
+  kFresh = 2,
+  kRetry = 3,
+};
+
+struct Event {
+  double time = 0.0;
+  EventKind kind = EventKind::kFresh;
+  std::size_t record = 0;
+};
+
+struct EventLater {
+  bool operator()(const Event& x, const Event& y) const {
+    if (x.time != y.time) return x.time > y.time;
+    if (x.kind != y.kind) return x.kind > y.kind;
+    return x.record > y.record;
+  }
+};
+
+}  // namespace
+
+FlowSimResult FlowLevelSimulator::run_with_qos(const core::Strategy& strategy,
+                                               util::Rng& rng) const {
+  const model::ProblemInstance& instance = *instance_;
+  const qos::QosConfig& config = *options_.qos;
+  IDDE_EXPECTS(strategy.allocation.size() == instance.user_count());
+
+  const fault::FaultPlan* plan = options_.fault_plan;
+  const bool faults = plan != nullptr && !plan->inert();
+  std::optional<fault::FaultInjector> injector;
+  if (faults) injector.emplace(instance, *plan);
+  const bool corruption = faults && plan->replica_corruption_prob() > 0.0;
+
+  const std::size_t servers = instance.server_count();
+  const qos::AdmissionConfig& admission = config.admission;
+  const bool slots_enabled = admission.service_slots > 0;
+  const bool deadline_aware =
+      admission.policy == qos::SheddingPolicy::kDeadlineAware &&
+      admission.deadline_s > 0.0;
+
+  FlowSimResult result;
+
+  // --- Offered arrivals -------------------------------------------------
+  // Replay keeps the pre-QoS record order and rng draws; the open-loop
+  // processes delegate to qos::generate_arrivals (generation order).
+  if (config.arrivals.inert()) {
+    for (std::size_t j = 0; j < instance.user_count(); ++j) {
+      for (const std::size_t k : instance.requests().items_of(j)) {
+        FlowRecord record;
+        record.user = j;
+        record.item = k;
+        record.arrival_s = options_.arrival_window_s > 0.0
+                               ? rng.uniform(0.0, options_.arrival_window_s)
+                               : 0.0;
+        result.flows.push_back(record);
+      }
+    }
+  } else {
+    for (const qos::Arrival& arrival :
+         qos::generate_arrivals(instance, config.arrivals, rng)) {
+      FlowRecord record;
+      record.user = arrival.user;
+      record.item = arrival.item;
+      record.arrival_s = arrival.time_s;
+      result.flows.push_back(record);
+    }
+  }
+  const std::size_t records = result.flows.size();
+
+  // --- Per-record derived state ----------------------------------------
+  const auto serving_of = [&](std::size_t r) {
+    const core::ChannelSlot slot = strategy.allocation[result.flows[r].user];
+    return slot.allocated() ? slot.server : core::ChannelSlot::kNone;
+  };
+  // Optimistic service estimate: the fault-free Eq. 8 seconds (plus the
+  // local service time when admission makes local hits non-free). A lower
+  // bound on any real completion, so deadline-aware shedding only drops
+  // requests that provably cannot make it.
+  std::vector<double> estimate_s(records, 0.0);
+  for (std::size_t r = 0; r < records; ++r) {
+    const FlowRecord& record = result.flows[r];
+    const double size = instance.data(record.item).size_mb;
+    double best = instance.latency().cloud_transfer_seconds(size);
+    const std::size_t serving = serving_of(r);
+    if (serving != core::ChannelSlot::kNone) {
+      for (const std::size_t host : strategy.delivery.hosts(record.item)) {
+        if (!strategy.collaborative_delivery && host != serving) continue;
+        const double seconds =
+            instance.latency().edge_transfer_seconds(host, serving, size);
+        best = std::min(best, seconds);
+      }
+    }
+    if (best <= 0.0 && slots_enabled) {
+      best = size * admission.local_service_s_per_mb;
+    }
+    estimate_s[r] = best;
+  }
+  std::vector<std::size_t> attempt_source(records, core::ChannelSlot::kNone);
+  std::vector<std::uint8_t> holds_slot(records, 0);
+
+  // --- QoS machinery ----------------------------------------------------
+  std::vector<std::size_t> in_service(servers, 0);
+  std::vector<qos::AdmissionQueue> queues(
+      servers, qos::AdmissionQueue(admission));
+  std::vector<qos::CircuitBreaker> breakers(
+      servers, qos::CircuitBreaker(config.breaker));
+  qos::RetryBudget budget(config.retry_budget);
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events;
+  for (std::size_t r = 0; r < records; ++r) {
+    events.push(Event{result.flows[r].arrival_s, EventKind::kFresh, r});
+  }
+
+  std::vector<double> capacities;
+  capacities.reserve(links_.size());
+  for (const Link& link : links_) capacities.push_back(link.capacity_mbps);
+
+  std::vector<ActiveFlow> active;
+  std::vector<std::size_t> eligible_hosts;
+  std::vector<std::uint8_t> up_buf;
+
+  const auto cloud_done = [&](double start, double seconds) {
+    return faults ? plan->cloud_completion(start, seconds) : start + seconds;
+  };
+
+  // Checksum-on-read: did the attempt's source hand over corrupt bytes?
+  const auto source_corrupt = [&](std::size_t r) {
+    const std::size_t source = attempt_source[r];
+    return corruption && source != core::kCloudSource &&
+           plan->replica_corrupted(source, result.flows[r].item);
+  };
+
+  // Deadline check used at arrival, at the queue head, and on retries.
+  const auto unmeetable = [&](std::size_t r, double now) {
+    return deadline_aware && now + estimate_s[r] >
+                                 result.flows[r].arrival_s +
+                                     admission.deadline_s;
+  };
+
+  const auto force_cloud = [&](std::size_t r, double now) {
+    FlowRecord& record = result.flows[r];
+    record.forced_cloud = true;
+    record.from_cloud = true;
+    record.local_hit = false;
+    record.tier = core::FallbackTier::kCloud;
+    const double size = instance.data(record.item).size_mb;
+    record.completion_s =
+        cloud_done(now, instance.latency().cloud_transfer_seconds(size));
+  };
+
+  // Starts service for record `r` at `now`. Resolves the source through
+  // the failover resolver against the current epoch, with breaker-open
+  // servers masked out of the liveness span. Takes a service slot (and
+  // marks the record as holding it) only for work that occupies the
+  // serving server over time: routed transfers and timed local service.
+  // Cloud legs are the relief valve — they never hold edge resources.
+  const auto start_service = [&](std::size_t r, double now) {
+    FlowRecord& record = result.flows[r];
+    record.from_cloud = false;
+    record.local_hit = false;
+    const std::size_t serving = serving_of(r);
+    const double size = instance.data(record.item).size_mb;
+
+    const fault::AvailabilitySnapshot* snap =
+        faults ? &injector->snapshot_at(now) : nullptr;
+    std::span<const std::uint8_t> server_up;
+    const net::CostMatrix* costs = nullptr;
+    const net::Graph* graph = &instance.graph();
+    if (snap != nullptr) {
+      server_up = snap->server_up;
+      costs = &snap->costs;
+      graph = &snap->graph;
+    }
+    if (!config.breaker.inert()) {
+      if (server_up.empty()) {
+        up_buf.assign(servers, 1);
+      } else {
+        up_buf.assign(server_up.begin(), server_up.end());
+      }
+      for (std::size_t i = 0; i < servers; ++i) {
+        if (!breakers[i].allows(now)) up_buf[i] = 0;
+      }
+      server_up = up_buf;
+    }
+
+    // Unlike run_with_faults, corrupt replicas are NOT filtered out here:
+    // silent corruption is invisible to the resolver and only surfaces as
+    // a checksum failure when the transfer completes (see the completion
+    // paths) — the failure class circuit breakers exist for.
+    eligible_hosts.clear();
+    for (const std::size_t host : strategy.delivery.hosts(record.item)) {
+      if (!strategy.collaborative_delivery && host != serving) continue;
+      eligible_hosts.push_back(host);
+    }
+    const core::FailoverDecision decision = core::resolve_with_failover(
+        instance, eligible_hosts, serving, size, server_up, costs);
+    record.tier = decision.tier;
+    attempt_source[r] = decision.source;
+
+    if (decision.source == core::kCloudSource) {
+      record.from_cloud = true;
+      record.completion_s = cloud_done(now, decision.seconds);
+      return;
+    }
+    breakers[decision.source].on_attempt_started(now);
+    if (decision.source == serving) {
+      record.local_hit = true;
+      const double service_s =
+          slots_enabled ? size * admission.local_service_s_per_mb : 0.0;
+      if (service_s > 0.0) {
+        const double done = now + service_s;
+        // A crash of the serving server aborts the service at the first
+        // epoch boundary where it is down (routed flows get the same
+        // treatment from the fluid loop's epoch scan).
+        double abort_at = -1.0;
+        if (faults) {
+          for (double t = plan->next_edge_change_after(now); t < done;
+               t = plan->next_edge_change_after(t)) {
+            if (!plan->server_up(serving, t)) {
+              abort_at = t;
+              break;
+            }
+          }
+        }
+        ++in_service[serving];
+        holds_slot[r] = 1;
+        if (abort_at >= 0.0) {
+          events.push(Event{abort_at, EventKind::kLocalAbort, r});
+        } else {
+          record.completion_s = done;
+          events.push(Event{done, EventKind::kLocalDone, r});
+        }
+        return;
+      }
+      if (source_corrupt(r)) {
+        // Instant local read of a corrupt replica: fail it through the
+        // same-time event queue (kLocalAbort sorts before fresh work).
+        events.push(Event{now, EventKind::kLocalAbort, r});
+        return;
+      }
+      record.completion_s = now;
+      breakers[serving].record_success(now);
+      return;
+    }
+
+    const net::Route route =
+        net::shortest_route(*graph, decision.source, serving);
+    IDDE_ASSERT(!route.nodes.empty(), "resolver picked an unreachable replica");
+    record.hops = route.hops();
+    ActiveFlow flow;
+    flow.record_index = r;
+    flow.remaining_mb = size;
+    for (std::size_t s = 0; s + 1 < route.nodes.size(); ++s) {
+      const std::size_t l = link_between(route.nodes[s], route.nodes[s + 1]);
+      IDDE_ASSERT(l != kNoLink, "route uses a missing link");
+      flow.links.push_back(l);
+    }
+    if (slots_enabled && serving != core::ChannelSlot::kNone) {
+      ++in_service[serving];
+      holds_slot[r] = 1;
+    }
+    active.push_back(std::move(flow));
+  };
+
+  // Admits waiting requests into freed slots, purging unmeetable heads.
+  const auto drain = [&](std::size_t server, double now) {
+    if (!slots_enabled) return;
+    qos::AdmissionQueue& queue = queues[server];
+    while (in_service[server] < admission.service_slots && !queue.empty()) {
+      const qos::QueueEntry entry = queue.pop_front();
+      FlowRecord& record = result.flows[entry.record];
+      if (unmeetable(entry.record, now)) {
+        if (entry.retry) {
+          force_cloud(entry.record, now);
+        } else {
+          record.outcome = FlowOutcome::kShed;
+          record.completion_s = now;
+        }
+        continue;
+      }
+      record.queue_wait_s += now - entry.enqueue_s;
+      start_service(entry.record, now);
+    }
+  };
+
+  const auto release_slot = [&](std::size_t r, double now) {
+    if (holds_slot[r] == 0) return;
+    holds_slot[r] = 0;
+    const std::size_t serving = serving_of(r);
+    IDDE_ASSERT(in_service[serving] > 0, "slot release underflow");
+    --in_service[serving];
+    drain(serving, now);
+  };
+
+  const auto handle_fresh = [&](std::size_t r, double now) {
+    budget.on_fresh_arrival();
+    FlowRecord& record = result.flows[r];
+    if (unmeetable(r, now)) {
+      record.outcome = FlowOutcome::kShed;
+      record.completion_s = now;
+      return;
+    }
+    const std::size_t serving = serving_of(r);
+    if (!slots_enabled || serving == core::ChannelSlot::kNone) {
+      start_service(r, now);
+      return;
+    }
+    if (in_service[serving] < admission.service_slots) {
+      start_service(r, now);
+      return;
+    }
+    if (queues[serving].full()) {
+      record.outcome = FlowOutcome::kRejected;
+      record.completion_s = now;
+      return;
+    }
+    queues[serving].push(qos::QueueEntry{r, now, /*retry=*/false});
+  };
+
+  const auto handle_retry = [&](std::size_t r, double now) {
+    if (unmeetable(r, now)) {
+      // Already admitted — the deadline miss becomes a cloud fetch, not a
+      // shed.
+      force_cloud(r, now);
+      return;
+    }
+    const std::size_t serving = serving_of(r);
+    if (!slots_enabled || serving == core::ChannelSlot::kNone ||
+        in_service[serving] < admission.service_slots) {
+      start_service(r, now);
+      return;
+    }
+    // Retries bypass the capacity check: their population is bounded by
+    // the retry budget / max_retries, and dropping an admitted request
+    // would leak the accounting invariant.
+    queues[serving].push(qos::QueueEntry{r, now, /*retry=*/true});
+  };
+
+  // One aborted delivery attempt (epoch killed a routed flow or a local
+  // service): count the retry, feed the breaker, then either retry after
+  // backoff or — past the caps or with an empty budget — go cloud-direct.
+  const auto abort_attempt = [&](std::size_t r, double now) {
+    IDDE_OBS_COUNT("qos.attempt_aborts_total", 1);
+    FlowRecord& record = result.flows[r];
+    ++record.retries;
+    breakers[attempt_source[r]].record_failure(now);
+    if (record.retries > options_.max_retries ||
+        now - record.arrival_s > options_.timeout_s) {
+      force_cloud(r, now);
+    } else if (!budget.try_spend_retry()) {
+      // Budget empty: the retry storm stops here, cloud-direct.
+      force_cloud(r, now);
+    } else {
+      const double backoff = std::min(
+          options_.retry_backoff_s *
+              std::ldexp(1.0, static_cast<int>(record.retries) - 1),
+          options_.retry_backoff_max_s);
+      events.push(Event{now + backoff, EventKind::kRetry, r});
+    }
+    release_slot(r, now);
+  };
+
+  const auto dispatch = [&](const Event& event, double now) {
+    switch (event.kind) {
+      case EventKind::kFresh:
+        handle_fresh(event.record, now);
+        break;
+      case EventKind::kRetry:
+        handle_retry(event.record, now);
+        break;
+      case EventKind::kLocalDone:
+        if (source_corrupt(event.record)) {
+          // The service time was spent shipping garbage; checksum fails
+          // at completion and the attempt aborts.
+          abort_attempt(event.record, now);
+          break;
+        }
+        // completion_s was fixed when the service started.
+        breakers[serving_of(event.record)].record_success(now);
+        release_slot(event.record, now);
+        break;
+      case EventKind::kLocalAbort:
+        abort_attempt(event.record, now);
+        break;
+    }
+  };
+
+  // --- Event loop (mirrors run_with_faults, plus the admission gate) ---
+  double now = 0.0;
+  while (!active.empty() || !events.empty()) {
+    if (active.empty()) now = std::max(now, events.top().time);
+    while (!events.empty() && events.top().time <= now) {
+      const Event event = events.top();
+      events.pop();
+      dispatch(event, now);
+    }
+    if (active.empty()) continue;  // next event re-anchors `now`
+
+    assign_max_min_rates(active, capacities);
+    ++result.rate_recomputations;
+
+    double dt = std::numeric_limits<double>::infinity();
+    for (const ActiveFlow& flow : active) {
+      IDDE_ASSERT(flow.rate_mbps > 0.0, "starved flow");
+      dt = std::min(dt, flow.remaining_mb / flow.rate_mbps);
+    }
+    if (!events.empty()) dt = std::min(dt, events.top().time - now);
+    bool epoch_event = false;
+    if (faults) {
+      const double next_epoch = plan->next_edge_change_after(now);
+      epoch_event = next_epoch - now <= dt;
+      if (epoch_event) dt = next_epoch - now;
+    }
+
+    for (ActiveFlow& flow : active) flow.remaining_mb -= flow.rate_mbps * dt;
+    now += dt;
+
+    // Retire completed flows. release_slot may start queued work, which
+    // appends to `active` with full remaining_mb — the index loop visits
+    // those and correctly keeps them.
+    for (std::size_t f = 0; f < active.size();) {
+      if (active[f].remaining_mb > 1e-9) {
+        ++f;
+        continue;
+      }
+      const std::size_t r = active[f].record_index;
+      active[f] = active.back();
+      active.pop_back();
+      if (source_corrupt(r)) {
+        abort_attempt(r, now);
+        continue;
+      }
+      result.flows[r].completion_s = now;
+      breakers[attempt_source[r]].record_success(now);
+      release_slot(r, now);
+    }
+
+    if (epoch_event) {
+      for (std::size_t f = 0; f < active.size();) {
+        bool dead = false;
+        for (const std::size_t l : active[f].links) {
+          if (!plan->server_up(links_[l].a, now) ||
+              !plan->server_up(links_[l].b, now) ||
+              !plan->link_up(links_[l].a, links_[l].b, now)) {
+            dead = true;
+            break;
+          }
+        }
+        if (!dead) {
+          ++f;
+          continue;
+        }
+        IDDE_OBS_COUNT("des.epoch_aborts_total", 1);
+        const std::size_t r = active[f].record_index;
+        active[f] = active.back();
+        active.pop_back();
+        abort_attempt(r, now);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < servers; ++i) {
+    IDDE_ASSERT(queues[i].empty(), "stuck admission queue at shutdown");
+    IDDE_ASSERT(in_service[i] == 0, "leaked service slot at shutdown");
+  }
+
+  result.qos.retries_denied = budget.denied();
+  for (const qos::CircuitBreaker& breaker : breakers) {
+    result.qos.breaker_opens += breaker.times_opened();
+  }
+  const double window = config.arrivals.inert() ? options_.arrival_window_s
+                                                : config.arrivals.window_s;
+  finalize(result, admission.deadline_s, window);
+  return result;
+}
+
+}  // namespace idde::des

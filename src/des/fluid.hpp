@@ -1,0 +1,67 @@
+// Internal fluid-flow machinery shared by the DES engines (flow_sim.cpp
+// and flow_sim_qos.cpp). Not part of the public des:: surface.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace idde::des::detail {
+
+/// One routed transfer in flight.
+struct ActiveFlow {
+  std::size_t record_index;
+  double remaining_mb;
+  std::vector<std::size_t> links;
+  double rate_mbps = 0.0;
+};
+
+/// Max-min fair rates for the active flows over shared links (iterative
+/// water-filling: repeatedly freeze the flows of the tightest link).
+inline void assign_max_min_rates(std::vector<ActiveFlow>& flows,
+                                 const std::vector<double>& capacities) {
+  std::vector<double> remaining_cap = capacities;
+  std::vector<std::size_t> unfrozen_count(capacities.size(), 0);
+  std::vector<bool> frozen(flows.size(), false);
+  for (const ActiveFlow& flow : flows) {
+    for (const std::size_t l : flow.links) ++unfrozen_count[l];
+  }
+  std::size_t flows_left = flows.size();
+  while (flows_left > 0) {
+    // Tightest link among those still carrying unfrozen flows.
+    double best_share = std::numeric_limits<double>::infinity();
+    std::size_t best_link = static_cast<std::size_t>(-1);
+    for (std::size_t l = 0; l < capacities.size(); ++l) {
+      if (unfrozen_count[l] == 0) continue;
+      const double share =
+          remaining_cap[l] / static_cast<double>(unfrozen_count[l]);
+      if (share < best_share) {
+        best_share = share;
+        best_link = l;
+      }
+    }
+    IDDE_ASSERT(best_link != static_cast<std::size_t>(-1),
+                "active flow without links");
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (frozen[f]) continue;
+      const auto& ls = flows[f].links;
+      if (std::find(ls.begin(), ls.end(), best_link) == ls.end()) continue;
+      flows[f].rate_mbps = best_share;
+      frozen[f] = true;
+      --flows_left;
+      for (const std::size_t l : ls) {
+        remaining_cap[l] -= best_share;
+        --unfrozen_count[l];
+      }
+      // Guard fp residue.
+      for (const std::size_t l : ls) {
+        remaining_cap[l] = std::max(remaining_cap[l], 0.0);
+      }
+    }
+  }
+}
+
+}  // namespace idde::des::detail

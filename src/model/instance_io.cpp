@@ -3,7 +3,7 @@
 #include <utility>
 
 #include "net/graph_gen.hpp"
-#include "util/assert.hpp"
+#include "util/format.hpp"
 
 namespace idde::model {
 
@@ -87,15 +87,21 @@ Json instance_to_json(const ProblemInstance& instance) {
 }
 
 ProblemInstance instance_from_json(const Json& json) {
-  IDDE_ASSERT(json.string_or("format", "") == "idde-instance-v1",
-              "unknown instance format");
+  // Every shape and range constraint the downstream constructors assert
+  // (RequestMatrix, net::Graph, ProblemInstance, the interference model)
+  // is checked here first, so a hostile document fails with a JsonError
+  // instead of aborting the process or indexing out of bounds.
+  if (json.string_or("format", "") != "idde-instance-v1") {
+    throw util::JsonError("unknown instance format (want idde-instance-v1)");
+  }
 
   std::vector<EdgeServer> servers;
   for (const Json& s : json.at("servers").as_array()) {
     servers.push_back(EdgeServer{
         .position = {s.at("x").as_number(), s.at("y").as_number()},
         .coverage_radius_m = s.at("radius_m").as_number(),
-        .storage_mb = s.at("storage_mb").as_number(),
+        .storage_mb = util::as_finite(s.at("storage_mb"), 0.0,
+                                      "server storage_mb"),
     });
   }
 
@@ -103,50 +109,76 @@ ProblemInstance instance_from_json(const Json& json) {
   for (const Json& u : json.at("users").as_array()) {
     users.push_back(User{
         .position = {u.at("x").as_number(), u.at("y").as_number()},
-        .power_watts = u.at("power_w").as_number(),
+        .power_watts = util::as_positive(u.at("power_w"), "user power_w"),
         .max_rate_mbps = u.at("max_rate_mbps").as_number(),
     });
   }
 
   std::vector<DataItem> data;
   for (const Json& d : json.at("data").as_array()) {
-    data.push_back(DataItem{.size_mb = d.at("size_mb").as_number()});
+    data.push_back(DataItem{
+        .size_mb = util::as_positive(d.at("size_mb"), "data size_mb")});
   }
 
   RequestMatrix requests(users.size(), data.size());
   const auto& request_rows = json.at("requests").as_array();
-  IDDE_ASSERT(request_rows.size() == users.size(),
-              "request rows / user count mismatch");
+  if (request_rows.size() != users.size()) {
+    throw util::JsonError(util::format(
+        "request rows {} != user count {}", request_rows.size(), users.size()));
+  }
   for (std::size_t j = 0; j < request_rows.size(); ++j) {
     for (const Json& item : request_rows[j].as_array()) {
-      requests.add_request(j, static_cast<std::size_t>(item.as_int()));
+      requests.add_request(j,
+                           util::as_index(item, data.size(), "requested item"));
     }
   }
 
   std::vector<net::Edge> edges;
   for (const Json& e : json.at("edges").as_array()) {
-    edges.push_back(net::Edge{
-        static_cast<std::size_t>(e.at("from").as_int()),
-        static_cast<std::size_t>(e.at("to").as_int()),
-        e.at("seconds_per_mb").as_number(),
-    });
+    net::Edge edge{
+        util::as_index(e.at("from"), servers.size(), "edge endpoint"),
+        util::as_index(e.at("to"), servers.size(), "edge endpoint"),
+        util::as_finite(e.at("seconds_per_mb"), 0.0, "edge seconds_per_mb"),
+    };
+    if (edge.from == edge.to) {
+      throw util::JsonError(
+          util::format("self-loop edge at server {}", edge.from));
+    }
+    edges.push_back(edge);
   }
   net::Graph graph(servers.size(), edges);
-  net::DeliveryLatencyModel latency(net::CostMatrix(graph),
-                                    json.at("cloud_speed_mbps").as_number());
+  net::DeliveryLatencyModel latency(
+      net::CostMatrix(graph),
+      util::as_positive(json.at("cloud_speed_mbps"), "cloud_speed_mbps"));
 
   const Json& radio_json = json.at("radio");
   radio::RadioEnvironment env;
   env.server_count = servers.size();
   env.user_count = users.size();
-  env.channels_per_server = static_cast<std::size_t>(
-      radio_json.at("channels_per_server").as_int());
-  env.noise_watts = radio_json.at("noise_watts").as_number();
+  const std::int64_t channels = radio_json.at("channels_per_server").as_int();
+  if (channels < 1 || channels > 1024) {
+    throw util::JsonError(
+        util::format("channels_per_server {} out of range [1, 1024]",
+                     channels));
+  }
+  env.channels_per_server = static_cast<std::size_t>(channels);
+  env.noise_watts =
+      util::as_finite(radio_json.at("noise_watts"), 0.0, "noise_watts");
   for (const Json& b : radio_json.at("bandwidth_mbps").as_array()) {
-    env.bandwidth.push_back(b.as_number());
+    env.bandwidth.push_back(util::as_positive(b, "bandwidth_mbps entry"));
+  }
+  if (env.bandwidth.size() != servers.size() * env.channels_per_server) {
+    throw util::JsonError(util::format(
+        "bandwidth_mbps has {} entries, want servers x channels = {}",
+        env.bandwidth.size(), servers.size() * env.channels_per_server));
   }
   for (const Json& g : radio_json.at("gain").as_array()) {
-    env.gain.push_back(g.as_number());
+    env.gain.push_back(util::as_finite(g, 0.0, "gain entry"));
+  }
+  if (env.gain.size() != servers.size() * users.size()) {
+    throw util::JsonError(
+        util::format("gain has {} entries, want servers x users = {}",
+                     env.gain.size(), servers.size() * users.size()));
   }
   env.power.reserve(users.size());
   for (const User& u : users) env.power.push_back(u.power_watts);

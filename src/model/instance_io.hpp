@@ -15,8 +15,10 @@ namespace idde::model {
 /// explicitly (they are model inputs, not always derivable from geometry).
 [[nodiscard]] util::Json instance_to_json(const ProblemInstance& instance);
 
-/// Rebuilds an instance; throws util::JsonError on malformed input and
-/// aborts (IDDE_ASSERT) on shape inconsistencies.
+/// Rebuilds an instance. Throws util::JsonError on malformed input AND on
+/// shape/range inconsistencies (bad indices, non-finite or out-of-range
+/// values, mismatched matrix sizes) — untrusted documents never abort the
+/// process or reach downstream constructors in an invalid state.
 [[nodiscard]] ProblemInstance instance_from_json(const util::Json& json);
 
 [[nodiscard]] std::string instance_to_string(const ProblemInstance& instance,

@@ -1,0 +1,72 @@
+// Per-server bounded admission queue.
+//
+// One AdmissionQueue guards each serving server in the overload-aware DES:
+// requests that cannot take a service slot immediately wait here in FIFO
+// order, and the configured SheddingPolicy decides what happens when the
+// waiting room is full (or a deadline is already unmeetable). The queue is
+// plain deterministic data — all timing decisions (estimates, deadlines)
+// are made by the engine and passed in; the queue only enforces capacity
+// and order.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qos/config.hpp"
+
+namespace idde::qos {
+
+/// One waiting request. `retry` marks re-queued attempts (already counted
+/// admitted) — they are never shed, only forced to the cloud by the engine.
+struct QueueEntry {
+  std::size_t record = 0;   ///< FlowRecord index in the engine
+  double enqueue_s = 0.0;
+  bool retry = false;
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(const AdmissionConfig& config)
+      : policy_(config.policy), capacity_(config.queue_capacity) {}
+
+  /// True when a fresh arrival may NOT enter: the waiting room is at
+  /// capacity under a bounded policy. kNone is unbounded by design (its
+  /// growth is the congestion-collapse failure mode under study;
+  /// capacity-bound: total offered arrivals of the run, which is finite).
+  [[nodiscard]] bool full() const noexcept {
+    return policy_ != SheddingPolicy::kNone && size() >= capacity_;
+  }
+
+  void push(QueueEntry entry) { entries_.push_back(entry); }
+
+  [[nodiscard]] bool empty() const noexcept { return head_ == entries_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return entries_.size() - head_;
+  }
+
+  [[nodiscard]] const QueueEntry& front() const { return entries_[head_]; }
+
+  QueueEntry pop_front() {
+    const QueueEntry entry = entries_[head_++];
+    // Reclaim the dead prefix once it dominates the buffer.
+    if (head_ > 64 && head_ * 2 > entries_.size()) {
+      entries_.erase(entries_.begin(),
+                     entries_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+    return entry;
+  }
+
+  [[nodiscard]] SheddingPolicy policy() const noexcept { return policy_; }
+
+ private:
+  SheddingPolicy policy_;
+  std::size_t capacity_;
+  // FIFO as vector + head index (no raw std::deque; see the
+  // unbounded-queue lint rule). capacity-bound: `capacity_` entries under
+  // the shedding policies; total offered arrivals under kNone.
+  std::vector<QueueEntry> entries_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace idde::qos

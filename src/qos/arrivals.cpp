@@ -1,0 +1,52 @@
+#include "qos/arrivals.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace idde::qos {
+
+namespace {
+
+/// Arrival instant for one copy. Uniform placement over the window is the
+/// order-statistics form of a Poisson process conditioned on its count;
+/// the flash-crowd variant routes a fraction of draws into the burst.
+double draw_time(const ArrivalConfig& config, util::Rng& rng) {
+  if (config.process == ArrivalProcess::kFlashCrowd &&
+      rng.bernoulli(config.flash_fraction)) {
+    const double start = config.flash_start_s;
+    const double width = std::max(config.flash_width_s, 1e-9);
+    return rng.uniform(start, start + width);
+  }
+  return rng.uniform(0.0, config.window_s);
+}
+
+}  // namespace
+
+std::vector<Arrival> generate_arrivals(const model::ProblemInstance& instance,
+                                       const ArrivalConfig& config,
+                                       util::Rng& rng) {
+  IDDE_EXPECTS(!config.inert());
+  IDDE_EXPECTS(config.load_multiplier >= 0.0);
+  IDDE_EXPECTS(config.window_s > 0.0);
+
+  const double whole = std::floor(config.load_multiplier);
+  const double frac = config.load_multiplier - whole;
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(
+      std::ceil(config.load_multiplier *
+                static_cast<double>(instance.requests().total_requests()))));
+
+  for (std::size_t j = 0; j < instance.user_count(); ++j) {
+    for (const std::size_t k : instance.requests().items_of(j)) {
+      std::size_t copies = static_cast<std::size_t>(whole);
+      if (frac > 0.0 && rng.bernoulli(frac)) ++copies;
+      for (std::size_t c = 0; c < copies; ++c) {
+        arrivals.push_back(Arrival{j, k, draw_time(config, rng)});
+      }
+    }
+  }
+  return arrivals;
+}
+
+}  // namespace idde::qos

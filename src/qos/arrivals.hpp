@@ -1,0 +1,36 @@
+// Open-loop arrival generation for the overload-aware DES.
+//
+// The pre-QoS replay is closed over the request matrix: every (user, item)
+// request happens exactly once, so offered load can never exceed what the
+// strategy was sized for. An ArrivalSchedule decouples offered load from
+// the catalogue: each base request spawns a seed-deterministic number of
+// arrivals (mean = load_multiplier) whose times follow the configured
+// process. Generation order is fixed (base requests user-major, copies
+// consecutive), so the schedule is a pure function of
+// (instance, ArrivalConfig, rng state) — thread count and query order
+// cannot change it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/instance.hpp"
+#include "qos/config.hpp"
+#include "util/random.hpp"
+
+namespace idde::qos {
+
+struct Arrival {
+  std::size_t user = 0;
+  std::size_t item = 0;
+  double time_s = 0.0;
+};
+
+/// Generates the offered-load schedule for a non-replay process. Arrivals
+/// are returned in generation order (not time order); the DES orders them
+/// through its event queue. Requires !config.inert().
+[[nodiscard]] std::vector<Arrival> generate_arrivals(
+    const model::ProblemInstance& instance, const ArrivalConfig& config,
+    util::Rng& rng);
+
+}  // namespace idde::qos

@@ -1,0 +1,53 @@
+// Global token-bucket retry budget.
+//
+// Per-flow exponential backoff (FlowSimOptions) spaces retries out but
+// does not cap their number: under a long outage every aborted flow keeps
+// retrying, and the retry traffic itself sustains the overload — the
+// classic retry storm. The budget couples retries to fresh work instead:
+// each fresh arrival deposits `ratio` tokens (clamped to `burst`), each
+// retry withdraws one, and a retry with an empty bucket is denied — the
+// engine sends that request cloud-direct instead of back into the edge.
+// ratio < 0 disables the budget entirely (bit-identical to pre-QoS
+// behaviour); ratio 0.1 caps retries at ~10% of fresh arrivals.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "qos/config.hpp"
+
+namespace idde::qos {
+
+class RetryBudget {
+ public:
+  explicit RetryBudget(const RetryBudgetConfig& config)
+      : config_(config), tokens_(config.inert() ? 0.0 : config.burst) {}
+
+  /// Deposits `ratio` tokens (fresh work funds future retries).
+  void on_fresh_arrival() noexcept {
+    if (config_.inert()) return;
+    tokens_ = std::min(config_.burst, tokens_ + config_.ratio);
+  }
+
+  /// Withdraws one token; false (and counts the denial) when the bucket
+  /// cannot cover a whole retry. An inert budget always grants.
+  [[nodiscard]] bool try_spend_retry() noexcept {
+    if (config_.inert()) return true;
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      return true;
+    }
+    ++denied_;
+    return false;
+  }
+
+  [[nodiscard]] double tokens() const noexcept { return tokens_; }
+  [[nodiscard]] std::size_t denied() const noexcept { return denied_; }
+
+ private:
+  RetryBudgetConfig config_;
+  double tokens_;
+  std::size_t denied_ = 0;
+};
+
+}  // namespace idde::qos

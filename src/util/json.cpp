@@ -12,7 +12,7 @@ namespace idde::util {
 namespace {
 
 [[noreturn]] void fail(std::string_view what, std::size_t pos) {
-  throw JsonError(util::format("JSON error at offset {}: {}", pos, what));
+  throw JsonError(util::format("JSON error at offset {}: {}", pos, what), pos);
 }
 
 class Parser {
@@ -75,7 +75,22 @@ class Parser {
     }
   }
 
+  // Bounds recursion in parse_object/parse_array: untrusted input like
+  // "[[[[..." must fail with a JsonError, not exhaust the stack.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > Json::kMaxParseDepth) {
+        fail("nesting too deep", parser_.pos_);
+      }
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser& parser_;
+  };
+
   Json parse_object() {
+    const DepthGuard guard(*this);
     expect('{');
     JsonObject object;
     skip_whitespace();
@@ -85,10 +100,15 @@ class Parser {
     }
     for (;;) {
       skip_whitespace();
+      const std::size_t key_pos = pos_;
       std::string key = parse_string();
       skip_whitespace();
       expect(':');
-      object.insert_or_assign(std::move(key), parse_value());
+      const auto [it, inserted] = object.emplace(std::move(key), parse_value());
+      if (!inserted) {
+        // Silently keeping either copy hides data from the producer.
+        fail(util::format("duplicate key '{}'", it->first), key_pos);
+      }
       skip_whitespace();
       const char c = take();
       if (c == '}') return Json(std::move(object));
@@ -97,6 +117,7 @@ class Parser {
   }
 
   Json parse_array() {
+    const DepthGuard guard(*this);
     expect('[');
     JsonArray array;
     skip_whitespace();
@@ -182,6 +203,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 void dump_string(const std::string& s, std::string& out) {
@@ -288,6 +310,12 @@ double Json::as_number() const {
 
 std::int64_t Json::as_int() const {
   const double d = as_number();
+  // Guard the cast: NaN or a value outside [-2^63, 2^63) is UB under
+  // static_cast (float-cast-overflow). 2^63 is exactly representable as a
+  // double, so these bounds are exact; NaN fails both comparisons.
+  if (!(d >= -9223372036854775808.0 && d < 9223372036854775808.0)) {
+    throw JsonError(util::format("number {} out of int64 range", d));
+  }
   return static_cast<std::int64_t>(d);
 }
 
@@ -360,6 +388,35 @@ std::string Json::dump(int indent) const {
 Json Json::parse(std::string_view text) {
   Parser parser(text);
   return parser.parse_document();
+}
+
+std::size_t as_index(const Json& value, std::size_t bound,
+                     std::string_view what) {
+  const std::int64_t v = value.as_int();
+  if (v < 0 || static_cast<std::size_t>(v) >= bound) {
+    throw JsonError(
+        util::format("{} {} out of range [0, {})", what, v, bound));
+  }
+  return static_cast<std::size_t>(v);
+}
+
+double as_finite(const Json& value, double min_inclusive,
+                 std::string_view what) {
+  const double v = value.as_number();
+  if (!std::isfinite(v) || v < min_inclusive) {
+    throw JsonError(util::format("{} must be a finite number >= {} (got {})",
+                                 what, min_inclusive, v));
+  }
+  return v;
+}
+
+double as_positive(const Json& value, std::string_view what) {
+  const double v = value.as_number();
+  if (!std::isfinite(v) || v <= 0.0) {
+    throw JsonError(
+        util::format("{} must be a finite number > 0 (got {})", what, v));
+  }
+  return v;
 }
 
 }  // namespace idde::util

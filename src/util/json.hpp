@@ -3,6 +3,7 @@
 // the BMP surrogate handling (inputs here are machine-generated ASCII).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -23,7 +24,19 @@ using JsonObject = std::map<std::string, Json, std::less<>>;
 
 class JsonError : public std::runtime_error {
  public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
   using std::runtime_error::runtime_error;
+  JsonError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what), offset_(offset) {}
+
+  /// Byte offset into the parsed document where the error was detected;
+  /// npos when the error did not come from the parser (type mismatch,
+  /// missing key, semantic validation).
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_ = npos;
 };
 
 class Json {
@@ -76,8 +89,15 @@ class Json {
   /// Serialises; indent < 0 emits compact one-line JSON.
   [[nodiscard]] std::string dump(int indent = -1) const;
 
-  /// Parses a complete JSON document; throws JsonError with position info.
+  /// Parses a complete JSON document. Throws JsonError carrying the byte
+  /// offset of the first error (JsonError::offset()). Rejects duplicate
+  /// object keys and nesting deeper than kMaxParseDepth — hostile inputs
+  /// fail with a structured error instead of silently dropping data or
+  /// exhausting the stack.
   static Json parse(std::string_view text);
+
+  /// Maximum container nesting accepted by parse().
+  static constexpr std::size_t kMaxParseDepth = 96;
 
   friend bool operator==(const Json&, const Json&) = default;
 
@@ -89,5 +109,18 @@ class Json {
 
   Value value_;
 };
+
+/// Validated accessors for untrusted documents. Unlike raw as_int() +
+/// static_cast (which turns a negative or huge number into a wild index)
+/// these throw JsonError with a descriptive message, so loaders fail
+/// structurally instead of tripping internal asserts or UB downstream.
+/// `what` names the field in the error message.
+[[nodiscard]] std::size_t as_index(const Json& value, std::size_t bound,
+                                   std::string_view what);
+/// A finite number >= min_inclusive (rejects NaN / infinities).
+[[nodiscard]] double as_finite(const Json& value, double min_inclusive,
+                               std::string_view what);
+/// A finite number > 0.
+[[nodiscard]] double as_positive(const Json& value, std::string_view what);
 
 }  // namespace idde::util

@@ -80,9 +80,9 @@ TEST(InstanceIo, SolverMetricsIdenticalAfterRoundTrip) {
 }
 
 TEST(InstanceIo, RejectsWrongFormatTag) {
-  EXPECT_DEATH(
+  EXPECT_THROW(
       (void)model::instance_from_string(R"({"format":"something-else"})"),
-      "unknown instance format");
+      util::JsonError);
 }
 
 TEST(InstanceIo, MalformedJsonThrows) {
@@ -135,7 +135,7 @@ TEST(StrategyIo, UnallocatedUsersSerialiseAsNull) {
   }
 }
 
-TEST(StrategyIo, OverCapacityPlacementAborts) {
+TEST(StrategyIo, OverCapacityPlacementThrows) {
   const auto inst = model::make_instance(small_params(), 8);
   // Hand-craft a strategy that stores item 0 on server 0 twice.
   const std::string bogus = R"({
@@ -154,8 +154,8 @@ TEST(StrategyIo, OverCapacityPlacementAborts) {
       R"(],
     "placements": [{"server":0,"item":0},{"server":0,"item":0}]
   })";
-  EXPECT_DEATH((void)core::strategy_from_string(inst, bogus),
-               "infeasible placement");
+  EXPECT_THROW((void)core::strategy_from_string(inst, bogus),
+               util::JsonError);
 }
 
 }  // namespace

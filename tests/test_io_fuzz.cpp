@@ -1,0 +1,166 @@
+// Seeded mutation fuzzing of the IO layer (ISSUE PR 5, satellite a).
+//
+// A valid instance / strategy document is serialised, then thousands of
+// seed-deterministic mutants (byte flips, splices, truncations, token and
+// number rewrites) are fed back through the full load path. The contract
+// under test: every mutant either round-trips or throws util::JsonError —
+// no aborts (the IDDE_ASSERT paths were converted to structured errors),
+// no out-of-bounds indexing, no float-cast UB, no leaks (the test runs
+// under ASan/UBSan in the chaos-soak CI job).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/idde_g.hpp"
+#include "core/strategy_io.hpp"
+#include "model/instance_builder.hpp"
+#include "model/instance_io.hpp"
+#include "sim/paper.hpp"
+#include "util/json.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace idde;
+
+model::InstanceParams tiny_params() {
+  model::InstanceParams p = sim::paper_default_params();
+  p.server_count = 5;
+  p.user_count = 12;
+  p.data_count = 3;
+  return p;
+}
+
+/// One seed-deterministic mutation of `text`. Mixes byte-level damage with
+/// grammar-aware rewrites (numbers, brackets, quotes) so both the parser
+/// and the semantic validation layer get exercised.
+std::string mutate(const std::string& text, util::Rng& rng) {
+  std::string out = text;
+  const std::size_t edits = 1 + rng.index(4);
+  for (std::size_t e = 0; e < edits && !out.empty(); ++e) {
+    const std::size_t pos = rng.index(out.size());
+    switch (rng.index(8)) {
+      case 0:  // flip one byte to a random printable char
+        out[pos] = static_cast<char>(' ' + rng.index(95));
+        break;
+      case 1:  // delete a short span
+        out.erase(pos, 1 + rng.index(8));
+        break;
+      case 2:  // duplicate a short span
+        out.insert(pos, out.substr(pos, 1 + rng.index(8)));
+        break;
+      case 3:  // truncate
+        out.resize(pos);
+        break;
+      case 4:  // insert a structural char
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos),
+                   "[]{},:\"-"[rng.index(8)]);
+        break;
+      case 5: {  // splice in a hostile number
+        static const char* kNumbers[] = {"-1",      "1e999", "999999999999",
+                                         "-0.0",    "1e309", "NaN",
+                                         "3.5e300", "0"};
+        out.insert(pos, kNumbers[rng.index(8)]);
+        break;
+      }
+      case 6: {  // nesting bomb fragment
+        out.insert(pos, std::string(1 + rng.index(200), '['));
+        break;
+      }
+      default:  // digit tweak: turn a digit into another digit
+        out[pos] = static_cast<char>('0' + rng.index(10));
+        break;
+    }
+  }
+  return out;
+}
+
+/// Runs one mutant through `load`; anything other than success or a
+/// JsonError is a contract violation.
+template <typename LoadFn>
+void expect_structured(const std::string& mutant, LoadFn&& load) {
+  try {
+    load(mutant);
+  } catch (const util::JsonError&) {
+    // expected: structured, typed, recoverable
+  }
+  // Any other exception type escapes and fails the test; an abort or
+  // sanitizer report kills the process.
+}
+
+TEST(IoFuzz, InstanceRoundTripSurvivesIntact) {
+  const auto instance = model::make_instance(tiny_params(), 7);
+  const std::string text = model::instance_to_string(instance, 2);
+  const auto back = model::instance_from_string(text);
+  EXPECT_EQ(model::instance_to_string(back, 2), text);
+}
+
+TEST(IoFuzz, MutatedInstanceNeverCrashes) {
+  const auto instance = model::make_instance(tiny_params(), 7);
+  const std::string text = model::instance_to_string(instance, -1);
+  util::Rng rng(0xf022ULL);
+  for (int i = 0; i < 3000; ++i) {
+    expect_structured(mutate(text, rng), [](const std::string& s) {
+      (void)model::instance_from_string(s);
+    });
+  }
+}
+
+TEST(IoFuzz, MutatedStrategyNeverCrashes) {
+  const auto instance = model::make_instance(tiny_params(), 8);
+  util::Rng solve_rng(8);
+  const auto strategy = core::IddeG().solve(instance, solve_rng);
+  const std::string text = core::strategy_to_string(strategy, -1);
+  // Intact round trip first.
+  const auto back = core::strategy_from_string(instance, text);
+  EXPECT_EQ(core::strategy_to_string(back, -1), text);
+
+  util::Rng rng(0xf023ULL);
+  for (int i = 0; i < 3000; ++i) {
+    expect_structured(mutate(text, rng), [&](const std::string& s) {
+      (void)core::strategy_from_string(instance, s);
+    });
+  }
+}
+
+TEST(IoFuzz, CrossDocumentConfusionIsStructured) {
+  // Feeding a strategy document to the instance loader (and vice versa)
+  // must fail on the format tag, not on a downstream assert.
+  const auto instance = model::make_instance(tiny_params(), 9);
+  util::Rng solve_rng(9);
+  const auto strategy = core::IddeG().solve(instance, solve_rng);
+  const std::string instance_text = model::instance_to_string(instance, -1);
+  const std::string strategy_text = core::strategy_to_string(strategy, -1);
+  EXPECT_THROW((void)model::instance_from_string(strategy_text),
+               util::JsonError);
+  EXPECT_THROW((void)core::strategy_from_string(instance, instance_text),
+               util::JsonError);
+  EXPECT_THROW((void)model::instance_from_string("{}"), util::JsonError);
+  EXPECT_THROW((void)model::instance_from_string(""), util::JsonError);
+  EXPECT_THROW((void)core::strategy_from_string(instance, "[1,2,3]"),
+               util::JsonError);
+}
+
+TEST(IoFuzz, HostileDocumentsAreRejectedStructurally) {
+  const auto instance = model::make_instance(tiny_params(), 10);
+  const std::vector<std::string> hostile = {
+      // out-of-range and negative indices
+      R"({"format":"idde-strategy-v1","allocation":[],"placements":[{"server":-1,"item":0}]})",
+      R"({"format":"idde-strategy-v1","allocation":[],"placements":[{"server":1e300,"item":0}]})",
+      // wrong shapes
+      R"({"format":"idde-instance-v1","servers":[],"users":[],"data":[],"requests":[[0]],"edges":[],"cloud_speed_mbps":1,"radio":{"channels_per_server":1,"noise_watts":0,"bandwidth_mbps":[],"gain":[]}})",
+      // duplicate keys
+      R"({"format":"idde-instance-v1","format":"idde-instance-v1"})",
+      // nesting bomb
+      std::string(50000, '[') + std::string(50000, ']'),
+  };
+  for (const auto& text : hostile) {
+    EXPECT_THROW((void)model::instance_from_string(text), util::JsonError);
+    EXPECT_THROW((void)core::strategy_from_string(instance, text),
+                 util::JsonError);
+  }
+}
+
+}  // namespace

@@ -1,6 +1,8 @@
 // JSON parser / writer round-trip and error tests.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/json.hpp"
 
 namespace {
@@ -121,6 +123,72 @@ TEST(JsonBuild, ProgrammaticConstruction) {
   obj.emplace("k", Json(JsonArray{Json(1), Json("two")}));
   const Json v(std::move(obj));
   EXPECT_EQ(v.at("k").as_array()[1].as_string(), "two");
+}
+
+// --- hardening (PR 5): depth limit, duplicate keys, byte offsets ---
+
+TEST(JsonHardening, ErrorsCarryByteOffsets) {
+  try {
+    (void)Json::parse(R"({"ok": 1, "bad": tru})");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_EQ(e.offset(), 17u);  // the 't' of the bad literal
+    EXPECT_NE(std::string(e.what()).find("offset 17"), std::string::npos);
+  }
+  // Non-parser errors carry no offset.
+  try {
+    (void)Json(1.0).as_string();
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_EQ(e.offset(), JsonError::npos);
+  }
+}
+
+TEST(JsonHardening, DuplicateKeysRejected) {
+  EXPECT_THROW((void)Json::parse(R"({"a":1,"a":2})"), JsonError);
+  EXPECT_THROW((void)Json::parse(R"({"x":{"a":1,"b":2,"a":3}})"), JsonError);
+  // Same key at different depths is fine.
+  EXPECT_NO_THROW((void)Json::parse(R"({"a":{"a":1}})"));
+}
+
+TEST(JsonHardening, DepthLimitStopsNestingBombs) {
+  const auto nested = [](std::size_t depth, char open, char close) {
+    std::string text(depth, open);
+    text.append(depth, close);
+    return text;
+  };
+  EXPECT_NO_THROW(
+      (void)Json::parse(nested(Json::kMaxParseDepth, '[', ']')));
+  EXPECT_THROW(
+      (void)Json::parse(nested(Json::kMaxParseDepth + 1, '[', ']')),
+      JsonError);
+  // A 100k-deep bomb must throw, not exhaust the stack.
+  EXPECT_THROW((void)Json::parse(std::string(100000, '[')), JsonError);
+}
+
+TEST(JsonHardening, IntCastGuardsAgainstOverflow) {
+  EXPECT_THROW((void)Json(1e300).as_int(), JsonError);
+  EXPECT_THROW((void)Json(-1e300).as_int(), JsonError);
+  EXPECT_THROW((void)Json(std::numeric_limits<double>::quiet_NaN()).as_int(),
+               JsonError);
+  EXPECT_EQ(Json(-42.0).as_int(), -42);
+}
+
+TEST(JsonHardening, ValidatedAccessors) {
+  using idde::util::as_finite;
+  using idde::util::as_index;
+  using idde::util::as_positive;
+  EXPECT_EQ(as_index(Json(3), 5, "idx"), 3u);
+  EXPECT_THROW((void)as_index(Json(5), 5, "idx"), JsonError);
+  EXPECT_THROW((void)as_index(Json(-1), 5, "idx"), JsonError);
+  EXPECT_THROW((void)as_index(Json(1e30), 5, "idx"), JsonError);
+  EXPECT_DOUBLE_EQ(as_finite(Json(0.0), 0.0, "v"), 0.0);
+  EXPECT_THROW((void)as_finite(Json(-0.5), 0.0, "v"), JsonError);
+  EXPECT_THROW(
+      (void)as_finite(Json(std::numeric_limits<double>::infinity()), 0.0, "v"),
+      JsonError);
+  EXPECT_DOUBLE_EQ(as_positive(Json(2.5), "v"), 2.5);
+  EXPECT_THROW((void)as_positive(Json(0.0), "v"), JsonError);
 }
 
 }  // namespace

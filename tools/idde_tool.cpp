@@ -7,8 +7,15 @@
 //          Solve a stored instance and print the metrics.
 //   eval   --instance instance.json --strategy strategy.json
 //          Re-evaluate a stored strategy (e.g. after editing it by hand).
+//   replay --instance instance.json --strategy strategy.json [--qos cfg.json]
+//          [--chaos] [--load X] [--policy P] [--out report.json]
+//          Replay through the overload-aware DES (DESIGN.md §12) and print
+//          the SLO accounting; --chaos composes a fault plan on top.
 //
-// Run without arguments for usage.
+// Run without arguments for usage. Every failure — unreadable file,
+// malformed JSON, bad flag value — exits nonzero with a single structured
+// "idde_tool: error: ..." line on stderr; the tool never aborts or dumps a
+// backtrace on untrusted input.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,10 +29,12 @@
 #include "core/validation.hpp"
 #include "model/instance_io.hpp"
 #include "obs/obs.hpp"
+#include "sim/overload.hpp"
 #include "sim/paper.hpp"
 #include "sim/runner.hpp"
 #include "sim/scenario.hpp"
 #include "util/cli.hpp"
+#include "util/format.hpp"
 
 namespace {
 
@@ -173,27 +182,114 @@ int cmd_eval(int argc, const char* const* argv) {
   return problems.empty() ? 0 : 1;
 }
 
+int cmd_replay(int argc, const char* const* argv) {
+  std::string instance_path = "instance.json";
+  std::string strategy_path = "strategy.json";
+  std::string qos_path;
+  std::string out;
+  std::size_t seed = 1;
+  double load = 1.0;
+  double retry_ratio = -1.0;
+  std::string policy_name = "deadline-aware";
+  bool chaos = false;
+  util::CliParser cli("idde_tool replay: overload-aware DES replay");
+  cli.add_string("instance", &instance_path, "instance JSON path");
+  cli.add_string("strategy", &strategy_path, "strategy JSON path");
+  cli.add_string("qos", &qos_path,
+                 "QoS config JSON (overrides --load/--policy/--retry-ratio)");
+  cli.add_double("load", &load, "offered-load multiplier");
+  cli.add_string("policy", &policy_name, "none | reject-newest | deadline-aware");
+  cli.add_double("retry-ratio", &retry_ratio,
+                 "retry-budget tokens per fresh arrival (<0 = unlimited)");
+  cli.add_flag("chaos", &chaos, "compose the chaos fault plan on top");
+  cli.add_size("seed", &seed, "arrival/fault seed");
+  cli.add_string("out", &out, "write the full report JSON here");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const model::ProblemInstance instance =
+      model::instance_from_string(read_file(instance_path));
+  const core::Strategy strategy =
+      core::strategy_from_string(instance, read_file(strategy_path));
+
+  sim::OverloadCell cell;
+  cell.seed = static_cast<std::uint64_t>(seed);
+  const qos::SheddingPolicy policy =
+      qos::shedding_policy_from_string(policy_name);
+  cell.qos = chaos ? sim::chaos_qos_config(load, policy, retry_ratio)
+                   : sim::overload_qos_config(load, policy, retry_ratio);
+  if (!qos_path.empty()) {
+    cell.qos = qos::qos_from_json(util::Json::parse(read_file(qos_path)));
+  }
+  if (chaos) cell.fault = sim::chaos_fault_profile();
+
+  const des::FlowSimResult result =
+      sim::run_overload_cell(instance, strategy, cell);
+  std::printf(
+      "offered %zu (%.1f rps)  admitted %zu  shed %zu  rejected %zu\n"
+      "goodput %zu (%.1f rps)  deadline misses %zu  mean queue wait %.2f ms\n"
+      "retries %zu (denied %zu)  breaker opens %zu  forced cloud %zu\n",
+      result.qos.offered, result.qos.offered_rps, result.qos.admitted,
+      result.qos.shed, result.qos.rejected, result.qos.goodput_flows,
+      result.qos.goodput_rps, result.qos.deadline_misses,
+      result.qos.mean_queue_wait_ms, result.retry_count,
+      result.qos.retries_denied, result.qos.breaker_opens,
+      result.forced_cloud_fetches);
+  if (!out.empty()) {
+    util::JsonObject report;
+    report["qos_config"] = qos::qos_to_json(cell.qos);
+    report["fault_profile"] = sim::fault_profile_to_json(cell.fault);
+    report["seed"] = cell.seed;
+    report["stats"] = sim::qos_stats_to_json(result.qos);
+    report["mean_duration_ms"] = result.mean_duration_ms;
+    report["p99_duration_ms"] = result.p99_duration_ms;
+    report["makespan_s"] = result.makespan_s;
+    write_file(out, util::Json(std::move(report)).dump(1) + "\n");
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::puts(
-        "usage: idde_tool <gen|solve|eval> [options]\n"
+        "usage: idde_tool <gen|solve|eval|replay> [options]\n"
         "  gen    materialise an instance from generator params\n"
         "  solve  solve a stored instance with one approach\n"
         "  eval   re-evaluate a stored strategy\n"
+        "  replay overload-aware DES replay (admission/retry/breakers)\n"
         "run a subcommand with --help for its options");
     return 1;
   }
   const std::string command = argv[1];
+  // Top-level handler: every failure is one structured line on stderr and
+  // a nonzero exit — malformed input must never abort or print a raw
+  // backtrace (tools/test_idde_tool_cli.sh pins this).
   try {
     if (command == "gen") return cmd_gen(argc - 1, argv + 1);
     if (command == "solve") return cmd_solve(argc - 1, argv + 1);
     if (command == "eval") return cmd_eval(argc - 1, argv + 1);
+    if (command == "replay") return cmd_replay(argc - 1, argv + 1);
+    std::fprintf(stderr, "idde_tool: error: unknown command '%s'\n",
+                 command.c_str());
+    return 2;
+  } catch (const idde::util::JsonError& error) {
+    if (error.offset() != idde::util::JsonError::npos) {
+      std::fprintf(stderr, "idde_tool: error: %s: invalid JSON at byte %zu: %s\n",
+                   command.c_str(), error.offset(), error.what());
+    } else {
+      std::fprintf(stderr, "idde_tool: error: %s: invalid input: %s\n",
+                   command.c_str(), error.what());
+    }
+    return 1;
   } catch (const std::exception& error) {
-    std::fprintf(stderr, "error: %s\n", error.what());
+    std::fprintf(stderr, "idde_tool: error: %s: %s\n", command.c_str(),
+                 error.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "idde_tool: error: %s: unknown error\n",
+                 command.c_str());
     return 1;
   }
-  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
-  return 1;
 }

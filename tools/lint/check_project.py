@@ -25,6 +25,15 @@ clang-tidy cannot know about:
                 telemetry layer; wrap the region in an obs::ScopedSpan
                 (src/obs/trace.hpp) — elapsed_ms() replaces the manual
                 delta and the span feeds the phase rollup and traces.
+  unbounded-queue
+                raw std::deque / std::queue in src/qos/ or src/des/ without
+                a documented capacity bound: unbounded buffering is the
+                congestion-collapse failure mode the overload layer exists
+                to prevent. Either bound it (and say how in a
+                `capacity-bound: ...` comment on or just above the line) or
+                use a structure whose growth is externally limited.
+                std::priority_queue (the DES event heap, bounded by the
+                arrival schedule) is deliberately not matched.
 
 Scope: src/ bench/ tools/ examples/ (tests/ may use raw std::thread — the
 concurrency stress suite drives the pool with them on purpose). src/util/
@@ -57,6 +66,9 @@ SLEEP_PATTERN = re.compile(r"\bstd::this_thread::sleep_(for|until)\b")
 TIMING_PATTERN = re.compile(
     r"\b(steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\("
 )
+# Matches std::deque<...> and std::queue<...>, but not std::priority_queue.
+QUEUE_PATTERN = re.compile(r"\bstd::(deque|queue)\s*<")
+CAPACITY_NOTE = "capacity-bound:"
 ALLOW_PATTERN = re.compile(r"//\s*lint:\s*allow\((?P<rules>[\w\-, ]+)\)")
 
 LINE_COMMENT = re.compile(r"//.*$")
@@ -90,10 +102,12 @@ def scan_file(path: Path) -> list[tuple[Path, int, str, str]]:
     in_util = rel.parts[:2] == ("src", "util")
     sleep_exempt = rel.parts[:2] in (("src", "util"), ("src", "des"))
     timing_exempt = rel.parts[:2] in (("src", "util"), ("src", "obs"))
+    queue_scoped = rel.parts[:2] in (("src", "qos"), ("src", "des"))
     is_header = path.suffix in HEADER_SUFFIXES
     in_block_comment = False
 
-    for lineno, raw in enumerate(path.read_text(errors="replace").splitlines(), 1):
+    lines = path.read_text(errors="replace").splitlines()
+    for lineno, raw in enumerate(lines, 1):
         allows = allowed_rules(raw)
         line = raw
         if in_block_comment:
@@ -141,6 +155,17 @@ def scan_file(path: Path) -> list[tuple[Path, int, str, str]]:
                 "obs::ScopedSpan (obs/trace.hpp) so the measurement feeds "
                 "the phase rollup and chrome traces",
             )
+        if queue_scoped and QUEUE_PATTERN.search(code):
+            # A `capacity-bound: ...` note on the line or within the three
+            # lines above documents how growth is limited.
+            nearby = lines[max(0, lineno - 4):lineno]
+            if not any(CAPACITY_NOTE in text for text in nearby):
+                report(
+                    "unbounded-queue",
+                    "raw std::deque/std::queue in src/qos//src/des/ without "
+                    "a documented bound; add a `capacity-bound: ...` comment "
+                    "explaining what limits its growth (or bound it)",
+                )
     return findings
 
 

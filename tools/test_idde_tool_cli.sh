@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# CLI contract test for idde_tool (ISSUE PR 5, satellite b).
+#
+# Every failure path must produce exactly one structured
+# "idde_tool: error: ..." line on stderr and a nonzero exit — never an
+# abort, a raw assert message, or a backtrace. Usage:
+#
+#   test_idde_tool_cli.sh /path/to/idde_tool
+set -u
+
+TOOL=${1:?usage: test_idde_tool_cli.sh /path/to/idde_tool}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+FAILURES=0
+
+# run <expected_exit> <args...> — captures stderr for the error checks.
+run() {
+  local expected=$1
+  shift
+  "$TOOL" "$@" >"$WORK/stdout" 2>"$WORK/stderr"
+  local actual=$?
+  if [ "$actual" -ne "$expected" ]; then
+    echo "FAIL: '$TOOL $*' exited $actual, want $expected" >&2
+    cat "$WORK/stderr" >&2
+    FAILURES=$((FAILURES + 1))
+    return 1
+  fi
+  # 134 = SIGABRT, 139 = SIGSEGV: any signal death is an automatic fail
+  # (caught above by the exit-code mismatch, spelled out here for clarity).
+  return 0
+}
+
+expect_error_line() {
+  if ! grep -q '^idde_tool: error: ' "$WORK/stderr"; then
+    echo "FAIL: expected a structured 'idde_tool: error:' line, got:" >&2
+    cat "$WORK/stderr" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+  if [ "$(wc -l <"$WORK/stderr")" -ne 1 ]; then
+    echo "FAIL: expected exactly one stderr line, got:" >&2
+    cat "$WORK/stderr" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+}
+
+# --- failure paths ---------------------------------------------------------
+
+run 1 # no arguments: usage + exit 1
+
+run 2 frobnicate && expect_error_line
+
+run 1 eval --instance "$WORK/does-not-exist.json" && expect_error_line
+
+printf 'this is not json{' >"$WORK/garbage.json"
+run 1 eval --instance "$WORK/garbage.json" && expect_error_line
+grep -q 'invalid JSON at byte' "$WORK/stderr" || {
+  echo "FAIL: parse failure should report a byte offset" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+printf '{"format":"idde-instance-v1","servers":[],"users":[],"data":[],"requests":[[0]],"edges":[],"cloud_speed_mbps":1,"radio":{"channels_per_server":1,"noise_watts":0,"bandwidth_mbps":[],"gain":[]}}' \
+  >"$WORK/bad-shape.json"
+run 1 eval --instance "$WORK/bad-shape.json" && expect_error_line
+
+run 1 replay --instance "$WORK/garbage.json" && expect_error_line
+
+# --- happy path ------------------------------------------------------------
+
+cd "$WORK" || exit 1
+run 0 gen --out "$WORK/instance.json" --seed 3 || true
+run 0 solve --instance "$WORK/instance.json" --approach IDDE-G \
+  --out "$WORK/strategy.json" --seed 3 || true
+run 0 eval --instance "$WORK/instance.json" --strategy "$WORK/strategy.json" \
+  || true
+run 0 replay --instance "$WORK/instance.json" \
+  --strategy "$WORK/strategy.json" --load 4 --policy deadline-aware \
+  --chaos --seed 3 --out "$WORK/report.json" || true
+[ -s "$WORK/report.json" ] || {
+  echo "FAIL: replay did not write report.json" >&2
+  FAILURES=$((FAILURES + 1))
+}
+grep -q '"goodput_flows"' "$WORK/report.json" || {
+  echo "FAIL: report.json is missing SLO stats" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+# A bad policy name through the same top-level handler.
+run 1 replay --instance "$WORK/instance.json" \
+  --strategy "$WORK/strategy.json" --policy drop-everything \
+  && expect_error_line
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES CLI contract check(s) failed" >&2
+  exit 1
+fi
+echo "idde_tool CLI contract: all checks passed"
