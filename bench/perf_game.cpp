@@ -1,12 +1,14 @@
 // perf_game — microbenchmark for the IDDE-U best-response engine.
 //
-// Times three engine configurations on Set-2-sized instances (N=30, K=5;
+// Times four engine configurations on Set-2-sized instances (N=30, K=5;
 // Set #2 tops out at M=350) under the paper's kBestImprovement rule:
 //   full         the seed engine: every user re-evaluated every round
 //                (GameOptions::incremental = false),
-//   incremental  dirty-set caching of best responses, serial,
+//   scalar       dirty-set caching, serial, per-slot field.benefit() calls
+//                (GameOptions::batched = false) — the scalar kernel oracle,
+//   incremental  dirty-set caching, serial, batched SoA kernel,
 //   parallel     dirty-set caching + ThreadPool fan-out of the dirty set.
-// The three are required to produce bit-identical move sequences; the run
+// All four are required to produce bit-identical move sequences; the run
 // aborts if they diverge. Results (evaluation counts, rounds, wall time,
 // derived ratios) go to stdout and to a machine-readable JSON trajectory
 // (--out, default BENCH_game.json) for cross-PR tracking.
@@ -39,6 +41,10 @@ core::GameOptions engine_config(const std::string& name) {
   core::GameOptions options;  // kBestImprovement: Algorithm 1 literally
   if (name == "full") {
     options.incremental = false;
+  } else if (name == "scalar") {
+    options.incremental = true;
+    options.threads = 1;
+    options.batched = false;  // per-slot benefit() calls, the kernel oracle
   } else if (name == "incremental") {
     options.incremental = true;
     options.threads = 1;
@@ -83,7 +89,7 @@ int main(int argc, char** argv) {
   params.user_count = users;
   params.data_count = data;
 
-  const std::vector<std::string> config_names{"full", "incremental",
+  const std::vector<std::string> config_names{"full", "scalar", "incremental",
                                               "parallel"};
   std::vector<ConfigTotals> totals;
   for (const std::string& name : config_names) {
@@ -126,14 +132,16 @@ int main(int argc, char** argv) {
   }
 
   const ConfigTotals& full = totals[0];
-  const ConfigTotals& incremental = totals[1];
-  const ConfigTotals& parallel = totals[2];
+  const ConfigTotals& scalar = totals[1];
+  const ConfigTotals& incremental = totals[2];
+  const ConfigTotals& parallel = totals[3];
   const auto ratio = [](double a, double b) { return b > 0.0 ? a / b : 0.0; };
   const double eval_ratio =
       ratio(static_cast<double>(full.benefit_evaluations),
             static_cast<double>(incremental.benefit_evaluations));
   const double speedup_incremental = ratio(full.solve_ms, incremental.solve_ms);
   const double speedup_parallel = ratio(full.solve_ms, parallel.solve_ms);
+  const double speedup_batched = ratio(scalar.solve_ms, incremental.solve_ms);
 
   std::printf("\n%-12s %14s %8s %8s %10s\n", "config", "evals", "moves",
               "rounds", "ms");
@@ -143,8 +151,10 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "\nincremental does %.1fx fewer benefit evaluations than the seed "
-      "engine\nwall-clock speedup: incremental %.2fx, parallel %.2fx\n",
-      eval_ratio, speedup_incremental, speedup_parallel);
+      "engine\nwall-clock speedup: incremental %.2fx, parallel %.2fx\n"
+      "batched kernel speedup over the scalar kernel (serial dirty-set): "
+      "%.2fx\n",
+      eval_ratio, speedup_incremental, speedup_parallel, speedup_batched);
 
   if (!out.empty()) {
     util::JsonArray configs;
@@ -171,6 +181,7 @@ int main(int argc, char** argv) {
     doc["eval_ratio_full_over_incremental"] = eval_ratio;
     doc["speedup_full_over_incremental"] = speedup_incremental;
     doc["speedup_full_over_parallel"] = speedup_parallel;
+    doc["speedup_scalar_over_batched"] = speedup_batched;
     doc["telemetry"] = obs::telemetry_json();
     std::ofstream file(out);
     if (!file) {

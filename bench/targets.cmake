@@ -25,6 +25,7 @@ idde_gbench(ablation_game_rules)
 
 # Engine microbenchmarks (BENCH_*.json trajectories).
 idde_bench(perf_game)
+idde_bench(perf_kernels)
 
 # Extension benches (paper future work).
 idde_bench(ext_mobility)

@@ -11,7 +11,8 @@ DeliveryProfile::DeliveryProfile(const model::ProblemInstance& instance)
     : instance_(&instance),
       data_count_(instance.data_count()),
       flags_(instance.server_count() * instance.data_count(), false),
-      hosts_(instance.data_count()) {
+      hosts_flat_(instance.data_count() * instance.server_count(), 0),
+      host_count_(instance.data_count(), 0) {
   free_mb_.reserve(instance.server_count());
   for (const model::EdgeServer& s : instance.servers()) {
     free_mb_.push_back(s.storage_mb);
@@ -29,35 +30,72 @@ void DeliveryProfile::place(std::size_t server, std::size_t item) {
   IDDE_ASSERT(can_place(server, item), "infeasible placement");
   flags_[server * data_count_ + item] = true;
   free_mb_[server] -= instance_->data(item).size_mb;
-  auto& hosts = hosts_[item];
-  hosts.insert(std::lower_bound(hosts.begin(), hosts.end(), server), server);
+  // Shift-insert into the item's arena segment, keeping ids ascending.
+  std::size_t* const seg = hosts_flat_.data() + item * free_mb_.size();
+  std::size_t pos = host_count_[item];
+  while (pos > 0 && seg[pos - 1] > server) {
+    seg[pos] = seg[pos - 1];
+    --pos;
+  }
+  seg[pos] = server;
+  ++host_count_[item];
   ++count_;
 }
 
 DeliveryEvaluator::DeliveryEvaluator(const model::ProblemInstance& instance,
                                      const AllocationProfile& allocation,
                                      bool collaborative)
-    : instance_(&instance),
-      collaborative_(collaborative),
-      item_requests_(instance.data_count()) {
-  IDDE_EXPECTS(allocation.size() == instance.user_count());
-  serving_server_.reserve(instance.user_count());
-  for (const ChannelSlot& slot : allocation) {
-    serving_server_.push_back(slot.allocated() ? slot.server
-                                               : ChannelSlot::kNone);
-  }
+    : instance_(&instance), collaborative_(collaborative) {
   const auto& requests = instance.requests();
+  // Structure first (instance-dependent only), then the allocation-
+  // dependent state via the same path reset() uses.
+  std::vector<std::size_t> item_degree(instance.data_count(), 0);
+  std::size_t total_requests = 0;
   for (std::size_t j = 0; j < instance.user_count(); ++j) {
     for (const std::size_t k : requests.items_of(j)) {
-      const std::size_t id = request_user_.size();
+      ++item_degree[k];
+      ++total_requests;
+    }
+  }
+  request_user_.reserve(total_requests);
+  request_item_.reserve(total_requests);
+  for (std::size_t j = 0; j < instance.user_count(); ++j) {
+    for (const std::size_t k : requests.items_of(j)) {
       request_user_.push_back(j);
       request_item_.push_back(k);
-      const double cloud =
-          instance.latency().cloud_transfer_seconds(instance.data(k).size_mb);
-      request_latency_.push_back(cloud);
-      total_latency_ += cloud;
-      item_requests_[k].push_back(id);
     }
+  }
+  item_req_offset_.assign(instance.data_count() + 1, 0);
+  for (std::size_t k = 0; k < instance.data_count(); ++k) {
+    item_req_offset_[k + 1] = item_req_offset_[k] + item_degree[k];
+  }
+  item_req_ids_.resize(total_requests);
+  std::vector<std::size_t> cursor(item_req_offset_.begin(),
+                                  item_req_offset_.end() - 1);
+  for (std::size_t id = 0; id < total_requests; ++id) {
+    item_req_ids_[cursor[request_item_[id]]++] = id;
+  }
+  serving_server_.resize(instance.user_count());
+  request_serving_.resize(total_requests);
+  request_latency_.resize(total_requests);
+  reset(allocation, collaborative);
+}
+
+void DeliveryEvaluator::reset(const AllocationProfile& allocation,
+                              bool collaborative) {
+  IDDE_EXPECTS(allocation.size() == instance_->user_count());
+  collaborative_ = collaborative;
+  for (std::size_t j = 0; j < allocation.size(); ++j) {
+    serving_server_[j] =
+        allocation[j].allocated() ? allocation[j].server : ChannelSlot::kNone;
+  }
+  total_latency_ = 0.0;
+  for (std::size_t id = 0; id < request_user_.size(); ++id) {
+    request_serving_[id] = serving_server_[request_user_[id]];
+    const double cloud = instance_->latency().cloud_transfer_seconds(
+        instance_->data(request_item_[id]).size_mb);
+    request_latency_[id] = cloud;
+    total_latency_ += cloud;
   }
 }
 
@@ -68,8 +106,10 @@ double DeliveryEvaluator::gain_seconds(std::size_t server,
   const double size = instance_->data(item).size_mb;
   const auto& latency = instance_->latency();
   double gain = 0.0;
-  for (const std::size_t id : item_requests_[item]) {
-    const std::size_t serving = serving_server_[request_user_[id]];
+  for (std::size_t r = item_req_offset_[item]; r < item_req_offset_[item + 1];
+       ++r) {
+    const std::size_t id = item_req_ids_[r];
+    const std::size_t serving = request_serving_[id];
     if (serving == ChannelSlot::kNone) continue;  // cloud-only user
     if (!collaborative_ && serving != server) continue;
     const double candidate =
@@ -85,8 +125,10 @@ double DeliveryEvaluator::commit(std::size_t server, std::size_t item) {
   const double size = instance_->data(item).size_mb;
   const auto& latency = instance_->latency();
   double gain = 0.0;
-  for (const std::size_t id : item_requests_[item]) {
-    const std::size_t serving = serving_server_[request_user_[id]];
+  for (std::size_t r = item_req_offset_[item]; r < item_req_offset_[item + 1];
+       ++r) {
+    const std::size_t id = item_req_ids_[r];
+    const std::size_t serving = request_serving_[id];
     if (serving == ChannelSlot::kNone) continue;
     if (!collaborative_ && serving != server) continue;
     const double candidate =

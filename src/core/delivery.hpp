@@ -69,6 +69,13 @@ class DeliveryEvaluator {
                     const AllocationProfile& allocation,
                     bool collaborative = true);
 
+  /// Rewinds to the empty sigma under a (possibly different) allocation,
+  /// reusing every buffer: the request structure depends only on the
+  /// instance, so no allocation happens here. After reset() the evaluator
+  /// is indistinguishable from a freshly constructed one — the planners
+  /// keep one evaluator per planner instead of building one per plan.
+  void reset(const AllocationProfile& allocation, bool collaborative = true);
+
   /// Total latency reduction (seconds) of adding sigma_{i,k}, given all
   /// placements committed so far. Never negative (Eq. 8 takes the min).
   [[nodiscard]] double gain_seconds(std::size_t server,
@@ -101,11 +108,19 @@ class DeliveryEvaluator {
   bool collaborative_;
   /// Serving server per user (ChannelSlot::kNone when unallocated).
   std::vector<std::size_t> serving_server_;
-  // Flat request arrays, grouped per item via item_requests_.
+  // Flat request arrays (SoA), ids user-major. The per-item groups are a
+  // CSR index over them: item k's request ids are
+  // item_req_ids_[item_req_offset_[k] .. item_req_offset_[k+1]), ascending
+  // — the same order the old vector-of-vectors held, so per-item gain
+  // accumulation is bit-identical.
   std::vector<std::size_t> request_user_;
   std::vector<std::size_t> request_item_;
   std::vector<double> request_latency_;  ///< current best (Eq. 8)
-  std::vector<std::vector<std::size_t>> item_requests_;
+  /// Serving server per request — the gain/commit inner loops read this
+  /// directly instead of chasing request -> user -> serving server.
+  std::vector<std::size_t> request_serving_;
+  std::vector<std::size_t> item_req_ids_;     // request count
+  std::vector<std::size_t> item_req_offset_;  // data count + 1
   double total_latency_ = 0.0;
 };
 

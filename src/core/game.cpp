@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "obs/obs.hpp"
 #include "util/assert.hpp"
@@ -36,21 +37,38 @@ IddeUGame::IddeUGame(const model::ProblemInstance& instance,
 }
 
 IddeUGame::BestResponse IddeUGame::best_response(
-    const radio::InterferenceField& field, std::size_t user,
-    std::size_t* evaluations) const {
+    const radio::InterferenceField& field, radio::BatchEvaluator* batch,
+    std::size_t user, std::size_t* evaluations) const {
   BestResponse best;
   std::size_t count = 0;
   const std::size_t channels = instance_->radio_env().channels_per_server;
   const auto& servers = options_.candidate_servers != nullptr
                             ? (*options_.candidate_servers)[user]
                             : instance_->covering_servers(user);
-  for (const std::size_t server : servers) {
-    for (std::size_t channel = 0; channel < channels; ++channel) {
-      const ChannelSlot slot{server, channel};
-      const double benefit = field.benefit(user, slot);
-      ++count;
-      if (benefit > best.benefit) {
-        best = BestResponse{slot, benefit};
+  if (batch != nullptr) {
+    // One SoA sweep prices every candidate; the argmax scan below walks
+    // the results in the same (server, channel) order with the same
+    // strict-> comparison as the scalar loop, so the winning slot and the
+    // evaluation count are identical.
+    const std::span<const double> priced = batch->benefits(user, servers);
+    count = priced.size();
+    for (std::size_t a = 0; a < servers.size(); ++a) {
+      for (std::size_t channel = 0; channel < channels; ++channel) {
+        const double benefit = priced[a * channels + channel];
+        if (benefit > best.benefit) {
+          best = BestResponse{ChannelSlot{servers[a], channel}, benefit};
+        }
+      }
+    }
+  } else {
+    for (const std::size_t server : servers) {
+      for (std::size_t channel = 0; channel < channels; ++channel) {
+        const ChannelSlot slot{server, channel};
+        const double benefit = field.benefit(user, slot);
+        ++count;
+        if (benefit > best.benefit) {
+          best = BestResponse{slot, benefit};
+        }
       }
     }
   }
@@ -76,6 +94,9 @@ GameResult IddeUGame::run_full_scan(const AllocationProfile& start) {
   for (std::size_t j = 0; j < start.size(); ++j) {
     if (start[j].allocated()) field.add_user(j, start[j]);
   }
+  std::optional<radio::BatchEvaluator> batch;
+  if (options_.batched) batch.emplace(field);
+  radio::BatchEvaluator* const batch_ptr = batch ? &*batch : nullptr;
 
   GameResult result;
   const std::size_t user_count = instance_->user_count();
@@ -108,7 +129,7 @@ GameResult IddeUGame::run_full_scan(const AllocationProfile& start) {
         for (std::size_t j = 0; j < user_count; ++j) {
           if (!movable(j)) continue;
           const BestResponse candidate =
-              best_response(field, j, &result.benefit_evaluations);
+              best_response(field, batch_ptr, j, &result.benefit_evaluations);
           if (!candidate.slot.allocated()) continue;
           const double gain = candidate.benefit - current_benefit(j);
           if (gain > winner_gain) {
@@ -129,7 +150,7 @@ GameResult IddeUGame::run_full_scan(const AllocationProfile& start) {
         for (std::size_t j = 0; j < user_count && !moved; ++j) {
           if (!movable(j)) continue;
           const BestResponse candidate =
-              best_response(field, j, &result.benefit_evaluations);
+              best_response(field, batch_ptr, j, &result.benefit_evaluations);
           if (!candidate.slot.allocated()) continue;
           if (candidate.benefit - current_benefit(j) > eps) {
             field.move_user(j, candidate.slot);
@@ -144,7 +165,7 @@ GameResult IddeUGame::run_full_scan(const AllocationProfile& start) {
         for (std::size_t j = 0; j < user_count; ++j) {
           if (!movable(j)) continue;
           const BestResponse candidate =
-              best_response(field, j, &result.benefit_evaluations);
+              best_response(field, batch_ptr, j, &result.benefit_evaluations);
           if (!candidate.slot.allocated()) continue;
           if (candidate.benefit - current_benefit(j) > eps) {
             field.move_user(j, candidate.slot);
@@ -205,6 +226,22 @@ GameResult IddeUGame::run_incremental(const AllocationProfile& start) {
     pool = std::make_unique<util::ThreadPool>(options_.threads);
   }
 
+  // Batched evaluators are per-thread scratch (SoA accumulators), never
+  // shared: one for the serial paths plus one per pool lane for the
+  // parallel fan-out. Each call reads the live field, so mid-sweep moves
+  // (kAsyncSweep) are priced against the current state, like the scalar
+  // path.
+  std::optional<radio::BatchEvaluator> batch;
+  if (options_.batched) batch.emplace(field);
+  radio::BatchEvaluator* const batch_ptr = batch ? &*batch : nullptr;
+  std::vector<radio::BatchEvaluator> lane_batch;
+  if (pool != nullptr && options_.batched) {
+    lane_batch.reserve(pool->size());
+    for (std::size_t lane = 0; lane < pool->size(); ++lane) {
+      lane_batch.emplace_back(field);
+    }
+  }
+
   // The cache: each user's best response and current benefit against the
   // field state at its last refresh. A user is dirty iff a later move may
   // have invalidated either value — it covers the vacated or entered
@@ -216,8 +253,9 @@ GameResult IddeUGame::run_incremental(const AllocationProfile& start) {
   std::vector<std::size_t> dirty_list;
   dirty_list.reserve(user_count);
 
-  const auto evaluate_user = [&](std::size_t j, std::size_t* evaluations) {
-    cached[j] = best_response(field, j, evaluations);
+  const auto evaluate_user = [&](radio::BatchEvaluator* eval, std::size_t j,
+                                 std::size_t* evaluations) {
+    cached[j] = best_response(field, eval, j, evaluations);
     const ChannelSlot slot = field.slot_of(j);
     current[j] = slot.allocated() ? field.benefit(j, slot) : 0.0;
   };
@@ -250,17 +288,20 @@ GameResult IddeUGame::run_incremental(const AllocationProfile& start) {
       IDDE_OBS_HISTOGRAM("game.pool_queue_depth", pool->queued());
       const std::uint64_t version_before = field.version();
       std::atomic<std::size_t> evaluations{0};
-      util::parallel_for(*pool, dirty_list.size(), [&](std::size_t idx) {
-        std::size_t local = 0;
-        evaluate_user(dirty_list[idx], &local);
-        evaluations.fetch_add(local, std::memory_order_relaxed);
-      });
+      util::parallel_for_lanes(
+          *pool, dirty_list.size(), [&](std::size_t lane, std::size_t idx) {
+            std::size_t local = 0;
+            radio::BatchEvaluator* const eval =
+                lane_batch.empty() ? nullptr : &lane_batch[lane];
+            evaluate_user(eval, dirty_list[idx], &local);
+            evaluations.fetch_add(local, std::memory_order_relaxed);
+          });
       IDDE_ASSERT(field.version() == version_before,
                   "InterferenceField mutated during parallel refresh");
       result.benefit_evaluations += evaluations.load();
     } else {
       for (const std::size_t j : dirty_list) {
-        evaluate_user(j, &result.benefit_evaluations);
+        evaluate_user(batch_ptr, j, &result.benefit_evaluations);
       }
     }
     for (const std::size_t j : dirty_list) dirty[j] = 0;
@@ -335,7 +376,7 @@ GameResult IddeUGame::run_incremental(const AllocationProfile& start) {
         for (std::size_t j = 0; j < user_count; ++j) {
           if (!movable(j)) continue;
           if (dirty[j] != 0) {
-            evaluate_user(j, &result.benefit_evaluations);
+            evaluate_user(batch_ptr, j, &result.benefit_evaluations);
             dirty[j] = 0;
           }
           if (!cached[j].slot.allocated()) continue;

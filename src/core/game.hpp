@@ -31,6 +31,7 @@
 
 #include "core/strategy.hpp"
 #include "model/instance.hpp"
+#include "radio/batch_eval.hpp"
 
 namespace idde::core {
 
@@ -58,6 +59,13 @@ struct GameOptions {
   /// get the original full-scan loop — the oracle the incremental path is
   /// validated against.
   bool incremental = true;
+  /// Evaluate each user's candidate slots through the batched SoA kernel
+  /// (radio::BatchEvaluator) instead of per-slot field.benefit() calls.
+  /// Pure data-layout change: the batched kernel is bit-identical to the
+  /// scalar path per slot (see batch_eval.hpp), so move sequences match
+  /// for every engine, rule, and thread count. Disable to get the scalar
+  /// per-slot oracle the batched kernel is validated against.
+  bool batched = true;
   /// Worker threads for re-evaluating the dirty set: 1 = serial (default),
   /// 0 = hardware concurrency, n = exactly n workers. Only engages on the
   /// incremental path; the move sequence is identical for every value.
@@ -102,11 +110,14 @@ class IddeUGame {
     double benefit = 0.0;
   };
 
-  /// Best candidate in delta_j over covering servers x channels.
+  /// Best candidate in delta_j over covering servers x channels. When
+  /// `batch` is non-null the candidates are priced through the batched
+  /// SoA kernel (one sweep, bit-identical values); otherwise per-slot
+  /// field.benefit() calls — same scan order and tie-breaking either way.
   /// `evaluations` may be null when the caller does not track the count.
   [[nodiscard]] BestResponse best_response(
-      const radio::InterferenceField& field, std::size_t user,
-      std::size_t* evaluations) const;
+      const radio::InterferenceField& field, radio::BatchEvaluator* batch,
+      std::size_t user, std::size_t* evaluations) const;
 
   /// The seed engine: re-evaluates every user each round. Oracle for the
   /// incremental path; selected with GameOptions::incremental = false.

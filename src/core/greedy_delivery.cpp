@@ -1,7 +1,6 @@
 #include "core/greedy_delivery.hpp"
 
-#include <queue>
-#include <tuple>
+#include <algorithm>
 
 #include "obs/obs.hpp"
 #include "util/assert.hpp"
@@ -42,17 +41,6 @@ void record_plan_telemetry(const model::ProblemInstance& instance,
 #endif
 }
 
-/// Heap entry: ratio key (possibly stale upper bound) plus the candidate.
-struct Candidate {
-  double ratio;
-  std::size_t server;
-  std::size_t item;
-
-  bool operator<(const Candidate& other) const {
-    return ratio < other.ratio;  // max-heap on ratio
-  }
-};
-
 constexpr double kMinGain = 1e-12;  // "no feasible improving decision"
 
 }  // namespace
@@ -61,42 +49,56 @@ GreedyDeliveryPlanner::GreedyDeliveryPlanner(
     const model::ProblemInstance& instance)
     : instance_(&instance) {}
 
+DeliveryEvaluator& GreedyDeliveryPlanner::evaluator_for(
+    const AllocationProfile& allocation) {
+  if (evaluator_.has_value()) {
+    evaluator_->reset(allocation);
+  } else {
+    evaluator_.emplace(*instance_, allocation);
+  }
+  return *evaluator_;
+}
+
 GreedyDeliveryResult GreedyDeliveryPlanner::plan(
-    const AllocationProfile& allocation) const {
+    const AllocationProfile& allocation) {
   const model::ProblemInstance& instance = *instance_;
   IDDE_OBS_SPAN("delivery.plan");
   GreedyDeliveryResult result{DeliveryProfile(instance), 0, 0};
-  DeliveryEvaluator evaluator(instance, allocation);
+  DeliveryEvaluator& evaluator = evaluator_for(allocation);
 
-  // The initial fill pushes up to S*K candidates; reserving the backing
-  // vector once avoids log(S*K) reallocations of the heap mid-fill.
-  std::vector<Candidate> storage;
-  storage.reserve(instance.server_count() * instance.data_count());
-  std::priority_queue<Candidate> heap(std::less<Candidate>{},
-                                      std::move(storage));
+  // The initial fill pushes up to S*K candidates; reserving the member
+  // vector once bounds its capacity for every later plan — the loops below
+  // run push_heap/pop_heap in place with no per-move allocation (the same
+  // sift operations std::priority_queue performs, hence the same pop
+  // order and the same plan).
+  heap_.clear();
+  heap_.reserve(instance.server_count() * instance.data_count());
   for (std::size_t i = 0; i < instance.server_count(); ++i) {
     for (std::size_t k = 0; k < instance.data_count(); ++k) {
       if (!result.delivery.can_place(i, k)) continue;
       const double gain = evaluator.gain_seconds(i, k);
       ++result.gain_evaluations;
       if (gain > kMinGain) {
-        heap.push(Candidate{gain / instance.data(k).size_mb, i, k});
+        heap_.push_back(Candidate{gain / instance.data(k).size_mb, i, k});
+        std::push_heap(heap_.begin(), heap_.end());
       }
     }
   }
 
-  while (!heap.empty()) {
-    const Candidate top = heap.top();
-    heap.pop();
+  while (!heap_.empty()) {
+    const Candidate top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
     // Storage only shrinks, so a now-infeasible candidate never returns.
     if (!result.delivery.can_place(top.server, top.item)) continue;
     const double gain = evaluator.gain_seconds(top.server, top.item);
     ++result.gain_evaluations;
     const double ratio = gain / instance.data(top.item).size_mb;
     if (gain <= kMinGain) continue;  // decayed to nothing, drop
-    if (!heap.empty() && ratio < heap.top().ratio) {
+    if (!heap_.empty() && ratio < heap_.front().ratio) {
       // Stale: the refreshed key is no longer the maximum.
-      heap.push(Candidate{ratio, top.server, top.item});
+      heap_.push_back(Candidate{ratio, top.server, top.item});
+      std::push_heap(heap_.begin(), heap_.end());
       continue;
     }
     evaluator.commit(top.server, top.item);
@@ -108,10 +110,10 @@ GreedyDeliveryResult GreedyDeliveryPlanner::plan(
 }
 
 GreedyDeliveryResult GreedyDeliveryPlanner::plan_naive(
-    const AllocationProfile& allocation) const {
+    const AllocationProfile& allocation) {
   const model::ProblemInstance& instance = *instance_;
   GreedyDeliveryResult result{DeliveryProfile(instance), 0, 0};
-  DeliveryEvaluator evaluator(instance, allocation);
+  DeliveryEvaluator& evaluator = evaluator_for(allocation);
 
   for (;;) {
     double best_ratio = 0.0;

@@ -12,6 +12,10 @@
 //    tests and the ablation bench.
 #pragma once
 
+#include <cstddef>
+#include <optional>
+#include <vector>
+
 #include "core/delivery.hpp"
 #include "core/strategy.hpp"
 #include "model/instance.hpp"
@@ -24,18 +28,39 @@ struct GreedyDeliveryResult {
   std::size_t gain_evaluations = 0;
 };
 
+/// Planner methods are non-const because the planner owns reusable scratch
+/// (the candidate heap's backing vector and one DeliveryEvaluator): after
+/// the first plan on a given instance the greedy loop performs no heap
+/// allocation per candidate or per committed move. Results are unaffected —
+/// the scratch is rewound, never carried between plans.
 class GreedyDeliveryPlanner {
  public:
   explicit GreedyDeliveryPlanner(const model::ProblemInstance& instance);
 
-  [[nodiscard]] GreedyDeliveryResult plan(
-      const AllocationProfile& allocation) const;
+  [[nodiscard]] GreedyDeliveryResult plan(const AllocationProfile& allocation);
 
   [[nodiscard]] GreedyDeliveryResult plan_naive(
-      const AllocationProfile& allocation) const;
+      const AllocationProfile& allocation);
 
  private:
+  /// Heap entry: ratio key (possibly stale upper bound) plus the candidate.
+  struct Candidate {
+    double ratio;
+    std::size_t server;
+    std::size_t item;
+
+    bool operator<(const Candidate& other) const {
+      return ratio < other.ratio;  // max-heap on ratio
+    }
+  };
+
+  /// Rewinds the evaluator scratch for a fresh plan (constructs it on the
+  /// first call; resets it afterwards).
+  DeliveryEvaluator& evaluator_for(const AllocationProfile& allocation);
+
   const model::ProblemInstance* instance_;
+  std::vector<Candidate> heap_;                ///< push_heap/pop_heap store
+  std::optional<DeliveryEvaluator> evaluator_; ///< built once per instance
 };
 
 }  // namespace idde::core

@@ -45,9 +45,14 @@ Strategy IddeGPlus::solve(const model::ProblemInstance& instance,
   const std::size_t channels = instance.radio_env().channels_per_server;
   GreedyDeliveryPlanner planner(instance);
 
+  // One field for every round: clear() zeroes the accumulators exactly (no
+  // subtraction residue), so clearing and re-adding is bit-identical to
+  // constructing a fresh field — without reallocating the O(N*X*M)
+  // received-power matrix each round.
+  radio::InterferenceField field(instance.radio_env());
   for (std::size_t round = 0; round < options_.refinement_rounds; ++round) {
     // Re-point nearly-indifferent users toward their data.
-    radio::InterferenceField field(instance.radio_env());
+    field.clear();
     for (std::size_t j = 0; j < strategy.allocation.size(); ++j) {
       if (strategy.allocation[j].allocated()) {
         field.add_user(j, strategy.allocation[j]);

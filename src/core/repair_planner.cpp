@@ -1,25 +1,13 @@
 #include "core/repair_planner.hpp"
 
-#include <queue>
-#include <vector>
+#include <algorithm>
 
-#include "core/delivery.hpp"
 #include "obs/obs.hpp"
 #include "util/assert.hpp"
 
 namespace idde::core {
 
 namespace {
-
-struct Candidate {
-  double ratio;
-  std::size_t server;
-  std::size_t item;
-
-  bool operator<(const Candidate& other) const {
-    return ratio < other.ratio;  // max-heap on ratio
-  }
-};
 
 constexpr double kMinGain = 1e-12;
 
@@ -32,7 +20,7 @@ RepairResult RepairPlanner::replan(const AllocationProfile& allocation,
                                    const DeliveryProfile& sigma,
                                    std::span<const std::uint8_t> server_up,
                                    const ReplicaLost& replica_lost,
-                                   bool collaborative) const {
+                                   bool collaborative) {
   const model::ProblemInstance& instance = *instance_;
   IDDE_EXPECTS(allocation.size() == instance.user_count());
   IDDE_EXPECTS(server_up.empty() || server_up.size() == instance.server_count());
@@ -49,13 +37,18 @@ RepairResult RepairPlanner::replan(const AllocationProfile& allocation,
 
   // Users on dead servers have no radio channel for the outage: their
   // requests go cloud-direct and must not attract repair placements.
-  AllocationProfile effective = allocation;
-  for (ChannelSlot& slot : effective) {
+  effective_.assign(allocation.begin(), allocation.end());
+  for (ChannelSlot& slot : effective_) {
     if (slot.allocated() && !up(slot.server)) slot = kUnallocated;
   }
 
   RepairResult result{DeliveryProfile(instance), 0, 0, 0.0};
-  DeliveryEvaluator evaluator(instance, effective, collaborative);
+  if (evaluator_.has_value()) {
+    evaluator_->reset(effective_, collaborative);
+  } else {
+    evaluator_.emplace(instance, effective_, collaborative);
+  }
+  DeliveryEvaluator& evaluator = *evaluator_;
 
   // Keep what survived; count what did not.
   for (std::size_t k = 0; k < instance.data_count(); ++k) {
@@ -69,8 +62,12 @@ RepairResult RepairPlanner::replan(const AllocationProfile& allocation,
     }
   }
 
-  // Resume the lazy greedy (Eq. 17 ratio) on the surviving servers.
-  std::priority_queue<Candidate> heap;
+  // Resume the lazy greedy (Eq. 17 ratio) on the surviving servers. The
+  // heap lives on the planner's member vector — push_heap/pop_heap run the
+  // same sift operations std::priority_queue would, with no per-move
+  // allocation once the capacity has grown to the instance's size.
+  heap_.clear();
+  heap_.reserve(instance.server_count() * instance.data_count());
   for (std::size_t i = 0; i < instance.server_count(); ++i) {
     if (!up(i)) continue;
     for (std::size_t k = 0; k < instance.data_count(); ++k) {
@@ -78,20 +75,23 @@ RepairResult RepairPlanner::replan(const AllocationProfile& allocation,
       const double gain = evaluator.gain_seconds(i, k);
       ++candidates_scanned;
       if (gain > kMinGain) {
-        heap.push(Candidate{gain / instance.data(k).size_mb, i, k});
+        heap_.push_back(Candidate{gain / instance.data(k).size_mb, i, k});
+        std::push_heap(heap_.begin(), heap_.end());
       }
     }
   }
-  while (!heap.empty()) {
-    const Candidate top = heap.top();
-    heap.pop();
+  while (!heap_.empty()) {
+    const Candidate top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
     if (!result.delivery.can_place(top.server, top.item)) continue;
     const double gain = evaluator.gain_seconds(top.server, top.item);
     ++candidates_scanned;
     if (gain <= kMinGain) continue;
     const double ratio = gain / instance.data(top.item).size_mb;
-    if (!heap.empty() && ratio < heap.top().ratio) {
-      heap.push(Candidate{ratio, top.server, top.item});
+    if (!heap_.empty() && ratio < heap_.front().ratio) {
+      heap_.push_back(Candidate{ratio, top.server, top.item});
+      std::push_heap(heap_.begin(), heap_.end());
       continue;
     }
     evaluator.commit(top.server, top.item);

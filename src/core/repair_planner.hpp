@@ -17,8 +17,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
+#include <vector>
 
+#include "core/delivery.hpp"
 #include "core/strategy.hpp"
 #include "model/instance.hpp"
 
@@ -43,14 +46,32 @@ class RepairPlanner {
   /// survive. Users allocated to dead servers are treated as cloud-bound
   /// for the duration of the outage (their slot is gone, not re-auctioned
   /// — channel reallocation is the game's job, not the repair's).
+  ///
+  /// Non-const: the planner owns reusable scratch (candidate heap,
+  /// evaluator, effective-allocation buffer) so per-epoch replans in the
+  /// fault loop allocate nothing per move. Scratch is rewound per call;
+  /// results are unaffected.
   [[nodiscard]] RepairResult replan(const AllocationProfile& allocation,
                                     const DeliveryProfile& sigma,
                                     std::span<const std::uint8_t> server_up,
                                     const ReplicaLost& replica_lost = {},
-                                    bool collaborative = true) const;
+                                    bool collaborative = true);
 
  private:
+  struct Candidate {
+    double ratio;
+    std::size_t server;
+    std::size_t item;
+
+    bool operator<(const Candidate& other) const {
+      return ratio < other.ratio;  // max-heap on ratio
+    }
+  };
+
   const model::ProblemInstance* instance_;
+  std::vector<Candidate> heap_;                 ///< push_heap/pop_heap store
+  std::optional<DeliveryEvaluator> evaluator_;  ///< built once per instance
+  AllocationProfile effective_;                 ///< outage-masked allocation
 };
 
 }  // namespace idde::core

@@ -45,7 +45,7 @@ class DeliveryProfile {
 
   /// Servers currently hosting d_k (ascending ids).
   [[nodiscard]] std::span<const std::size_t> hosts(std::size_t item) const {
-    return hosts_[item];
+    return {hosts_flat_.data() + item * free_mb_.size(), host_count_[item]};
   }
 
   [[nodiscard]] std::size_t placement_count() const noexcept { return count_; }
@@ -57,9 +57,15 @@ class DeliveryProfile {
  private:
   const model::ProblemInstance* instance_;
   std::size_t data_count_;
-  std::vector<bool> flags_;               // N x K
-  std::vector<double> free_mb_;           // per server
-  std::vector<std::vector<std::size_t>> hosts_;  // per item
+  std::vector<bool> flags_;      // N x K
+  std::vector<double> free_mb_;  // per server
+  /// Host lists as a flat K x N arena: item k's hosts occupy
+  /// hosts_flat_[k*N .. k*N + host_count_[k]), ascending. An item can have
+  /// at most N hosts, so the segments never overflow and place() is a
+  /// shift-insert with no allocation — the planners call it once per
+  /// committed placement inside their hot loops.
+  std::vector<std::size_t> hosts_flat_;   // K x N
+  std::vector<std::size_t> host_count_;   // per item
   std::size_t count_ = 0;
 };
 

@@ -92,7 +92,7 @@ ResilienceReport evaluate_resilience(const model::ProblemInstance& instance,
                          return plan.replica_corrupted(i, k);
                        })
                  : core::RepairPlanner::ReplicaLost{};
-  const core::RepairPlanner repairer(instance);
+  core::RepairPlanner repairer(instance);
   const auto& requests = instance.requests();
   const std::size_t request_count = requests.total_requests();
   IDDE_EXPECTS(request_count > 0);

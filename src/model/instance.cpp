@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "util/assert.hpp"
+#include "util/error.hpp"
 
 namespace idde::model {
 
@@ -19,12 +19,21 @@ ProblemInstance::ProblemInstance(std::vector<EdgeServer> servers,
       graph_(std::move(graph)),
       latency_(std::move(latency)),
       radio_env_(std::move(radio_env)) {
-  IDDE_EXPECTS(requests_.user_count() == users_.size());
-  IDDE_EXPECTS(requests_.data_count() == data_.size());
-  IDDE_EXPECTS(graph_.node_count() == servers_.size());
-  IDDE_EXPECTS(latency_.server_count() == servers_.size());
-  IDDE_EXPECTS(radio_env_.server_count == servers_.size());
-  IDDE_EXPECTS(radio_env_.user_count == users_.size());
+  // Input validation, not internal invariants: instances are assembled
+  // from files and generator output, so inconsistency throws a typed
+  // ValidationError (structured CLI error contract) instead of aborting.
+  util::validate(requests_.user_count() == users_.size(),
+                 "instance: request matrix user count mismatch");
+  util::validate(requests_.data_count() == data_.size(),
+                 "instance: request matrix data count mismatch");
+  util::validate(graph_.node_count() == servers_.size(),
+                 "instance: graph node count mismatch");
+  util::validate(latency_.server_count() == servers_.size(),
+                 "instance: latency model server count mismatch");
+  util::validate(radio_env_.server_count == servers_.size(),
+                 "instance: radio environment server count mismatch");
+  util::validate(radio_env_.user_count == users_.size(),
+                 "instance: radio environment user count mismatch");
   radio_env_.check();
 
   covered_users_.resize(servers_.size());
@@ -34,11 +43,11 @@ ProblemInstance::ProblemInstance(std::vector<EdgeServer> servers,
     }
   }
   for (const EdgeServer& s : servers_) {
-    IDDE_EXPECTS(s.storage_mb >= 0.0);
+    util::validate(s.storage_mb >= 0.0, "instance: negative server storage");
     total_storage_mb_ += s.storage_mb;
   }
   for (const DataItem& d : data_) {
-    IDDE_EXPECTS(d.size_mb > 0.0);
+    util::validate(d.size_mb > 0.0, "instance: non-positive data size");
     max_data_size_mb_ = std::max(max_data_size_mb_, d.size_mb);
   }
 }

@@ -6,16 +6,22 @@
 #include "radio/shadowing.hpp"
 #include "radio/units.hpp"
 #include "util/assert.hpp"
+#include "util/error.hpp"
 
 namespace idde::model {
 
 InstanceBuilder::InstanceBuilder(InstanceParams params)
     : params_(std::move(params)) {
-  IDDE_EXPECTS(params_.server_count > 0);
-  IDDE_EXPECTS(params_.data_count > 0);
-  IDDE_EXPECTS(!params_.data_size_choices_mb.empty());
-  IDDE_EXPECTS(params_.server_count <= params_.eua.server_count);
-  IDDE_EXPECTS(params_.user_count <= params_.eua.user_count);
+  // Generator parameters arrive from CLI flags and scenario files, so bad
+  // values throw (structured CLI error contract) instead of aborting.
+  util::validate(params_.server_count > 0, "params: server_count must be > 0");
+  util::validate(params_.data_count > 0, "params: data_count must be > 0");
+  util::validate(!params_.data_size_choices_mb.empty(),
+                 "params: data_size_choices_mb must be non-empty");
+  util::validate(params_.server_count <= params_.eua.server_count,
+                 "params: server_count exceeds the EUA scenario pool");
+  util::validate(params_.user_count <= params_.eua.user_count,
+                 "params: user_count exceeds the EUA scenario pool");
 }
 
 ProblemInstance InstanceBuilder::build(std::uint64_t seed) const {

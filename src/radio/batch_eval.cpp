@@ -1,0 +1,179 @@
+#include "radio/batch_eval.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace idde::radio {
+
+BatchEvaluator::BatchEvaluator(const InterferenceField& field)
+    : field_(&field) {
+  // Preallocate the scratch for the widest coverage set up front so the
+  // per-call paths never touch vector capacity — best_response calls this
+  // once per user per refresh, and any hidden realloc would dwarf the
+  // arithmetic on small candidate sets.
+  const RadioEnvironment& env = field.env();
+  std::size_t max_candidates = 1;
+  for (const auto& coverage : env.covering_servers) {
+    max_candidates = std::max(max_candidates, coverage.size());
+  }
+  cross_.resize(max_candidates * env.channels_per_server, 0.0);
+  gain_.resize(max_candidates, 0.0);
+  out_.resize(max_candidates * env.channels_per_server, 0.0);
+  coverage_size_.resize(env.user_count, 0);
+  for (std::size_t j = 0; j < env.user_count; ++j) {
+    coverage_size_[j] = static_cast<std::uint8_t>(
+        std::min<std::size_t>(env.covering_servers[j].size(), 3));
+  }
+}
+
+void BatchEvaluator::accumulate_cross(std::size_t user,
+                                      std::span<const std::size_t> servers) {
+  const RadioEnvironment& env = field_->env();
+  const std::size_t channels = env.channels_per_server;
+  const std::size_t server_count = env.server_count;
+  const std::size_t candidates = servers.size();
+
+  std::fill_n(cross_.data(), candidates * channels, 0.0);
+  for (std::size_t a = 0; a < candidates; ++a) {
+    gain_[a] = env.gain_at(servers[a], user);
+  }
+
+  const ChannelSlot current = field_->allocation_[user];
+  const double p = env.power[user];
+  const std::size_t* const cols = servers.data();
+  const double* const received = field_->received_.data();
+  const std::size_t* const users_on = field_->users_on_.data();
+
+  // Interferer-major sweep over the user's full coverage set (the
+  // candidates may be a restricted subset — DUP-G — but every covering
+  // server interferes). For a fixed accumulator (a, x) the terms land in
+  // ascending-server order with o == servers[a] skipped — the exact
+  // summation sequence of the scalar cross_cell_interference() loop, so
+  // the accumulated values are bit-identical to the per-slot path.
+  std::size_t skip = 0;  // candidates and coverage are both ascending
+  for (const std::size_t o : env.covering_servers[user]) {
+    while (skip < candidates && cols[skip] < o) ++skip;
+    const bool has_skip = skip < candidates && cols[skip] == o;
+    // With a single candidate equal to this interferer, every accumulator
+    // skips it: nothing to add on any channel.
+    if (has_skip && candidates == 1) continue;
+    const std::size_t a_skip = has_skip ? skip : candidates;
+    const bool on_server = current.allocated() && current.server == o;
+    for (std::size_t x = 0; x < channels; ++x) {
+      const std::size_t ox = o * channels + x;
+      const double* const row = received + ox * server_count;
+      double* const acc = cross_.data() + x * candidates;
+      if (on_server && current.channel == x) {
+        // The user's own transmission lands in this row. Alone on the
+        // channel it contributes exactly zero (the residue rationale in
+        // in_cell_power_excluding); otherwise subtract it per candidate.
+        if (users_on[ox] == 1) continue;
+        for (std::size_t a = 0; a < a_skip; ++a) {
+          acc[a] += row[cols[a]] - gain_[a] * p;
+        }
+        // The `a_skip < candidates` guard keeps `a_skip + 1` provably
+        // non-wrapping for the optimiser (a_skip == candidates means no
+        // candidate is skipped and the tail loop is empty anyway).
+        if (a_skip < candidates) {
+          for (std::size_t a = a_skip + 1; a < candidates; ++a) {
+            acc[a] += row[cols[a]] - gain_[a] * p;
+          }
+        }
+      } else {
+        // Hot path: a pure gather-add over ascending columns of one
+        // contiguous row, split at a_skip so no branch runs per candidate.
+        for (std::size_t a = 0; a < a_skip; ++a) acc[a] += row[cols[a]];
+        if (a_skip < candidates) {
+          for (std::size_t a = a_skip + 1; a < candidates; ++a) {
+            acc[a] += row[cols[a]];
+          }
+        }
+      }
+    }
+  }
+}
+
+std::span<const double> BatchEvaluator::benefits_batched(
+    std::size_t user, std::span<const std::size_t> servers) {
+  const RadioEnvironment& env = field_->env();
+  const std::size_t channels = env.channels_per_server;
+  const std::size_t candidates = servers.size();
+  accumulate_cross(user, servers);
+
+  const ChannelSlot current = field_->allocation_[user];
+  const double p = env.power[user];
+  const double* const power_sum = field_->power_sum_.data();
+  const std::size_t* const users_on = field_->users_on_.data();
+  for (std::size_t a = 0; a < candidates; ++a) {
+    const std::size_t server = servers[a];
+    const double g = gain_[a];
+    const double signal = g * p;
+    const std::size_t base = server * channels;
+    double* const row_out = out_.data() + a * channels;
+    if (current.allocated() && current.server == server) {
+      for (std::size_t x = 0; x < channels; ++x) {
+        // in_cell_power_excluding(), inlined with the same special cases.
+        const double excl =
+            current.channel == x
+                ? (users_on[base + x] == 1
+                       ? 0.0
+                       : std::max(power_sum[base + x] - p, 0.0))
+                : power_sum[base + x];
+        const double cross = std::max(cross_[x * candidates + a], 0.0);
+        // Mirrors InterferenceField::benefit() term for term (Eq. 12).
+        row_out[x] = signal / (g * (excl + p) + cross);
+      }
+    } else {
+      for (std::size_t x = 0; x < channels; ++x) {
+        const double excl = power_sum[base + x];
+        const double cross = std::max(cross_[x * candidates + a], 0.0);
+        row_out[x] = signal / (g * (excl + p) + cross);
+      }
+    }
+  }
+  return {out_.data(), candidates * channels};
+}
+
+std::span<const double> BatchEvaluator::sinrs_batched(
+    std::size_t user, std::span<const std::size_t> servers) {
+  const RadioEnvironment& env = field_->env();
+  const std::size_t channels = env.channels_per_server;
+  const std::size_t candidates = servers.size();
+  accumulate_cross(user, servers);
+
+  const ChannelSlot current = field_->allocation_[user];
+  const double p = env.power[user];
+  const double noise = env.noise_watts;
+  const double* const power_sum = field_->power_sum_.data();
+  const std::size_t* const users_on = field_->users_on_.data();
+  for (std::size_t a = 0; a < candidates; ++a) {
+    const std::size_t server = servers[a];
+    const double g = gain_[a];
+    const double signal = g * p;
+    const std::size_t base = server * channels;
+    double* const row_out = out_.data() + a * channels;
+    if (current.allocated() && current.server == server) {
+      for (std::size_t x = 0; x < channels; ++x) {
+        const double excl =
+            current.channel == x
+                ? (users_on[base + x] == 1
+                       ? 0.0
+                       : std::max(power_sum[base + x] - p, 0.0))
+                : power_sum[base + x];
+        const double cross = std::max(cross_[x * candidates + a], 0.0);
+        // Mirrors InterferenceField::sinr() term for term (Eq. 2).
+        row_out[x] = signal / (g * excl + cross + noise);
+      }
+    } else {
+      for (std::size_t x = 0; x < channels; ++x) {
+        const double excl = power_sum[base + x];
+        const double cross = std::max(cross_[x * candidates + a], 0.0);
+        row_out[x] = signal / (g * excl + cross + noise);
+      }
+    }
+  }
+  return {out_.data(), candidates * channels};
+}
+
+}  // namespace idde::radio

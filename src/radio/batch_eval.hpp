@@ -1,0 +1,225 @@
+// Batched SoA evaluation of SINR (Eq. 2) and game benefit (Eq. 12) for
+// every candidate (server, channel) slot of one user in a single pass.
+//
+// The scalar InterferenceField API prices one slot per call: for candidate
+// (i, x) it walks the user's coverage set V_j and reads one entry of each
+// (o, x) received-power row — a strided, pointer-chasing access pattern
+// repeated |V_j| * X times per best-response. The best-response is the
+// solver's dominant kernel (~85k evaluations per Set-2 solve even on the
+// incremental path), so BatchEvaluator restructures the same arithmetic
+// for throughput:
+//
+//   - the cross-cell accumulation runs interferer-major: each received-power
+//     row (contiguous in the field) is loaded once and scattered into C*X
+//     per-candidate accumulators held in a channel-major scratch row, so the
+//     inner loop is a pure gather-add over ascending columns of one row;
+//   - per-user constants (p_j, the g_{i,j} gather, the user's current slot)
+//     are hoisted out of the sweep entirely;
+//   - the final rate-limiting division runs over the scratch rows with no
+//     per-slot branches beyond the own-slot correction.
+//
+// Exactness contract: for every slot the floating-point operations and
+// their association order are IDENTICAL to the scalar
+// InterferenceField::sinr()/benefit() calls — term accumulation follows the
+// same ascending-server order, the own-contribution and emptied-channel
+// special cases reproduce in_cell_power_excluding()/
+// cross_cell_interference() exactly — so results are bit-identical, not
+// merely close. The game's move sequences therefore cannot diverge between
+// the batched and scalar paths (tests/test_batch_eval.cpp pins this).
+//
+// Thread compatibility: an evaluator owns mutable scratch, so one instance
+// must not be shared between threads. It reads the field strictly through
+// the read-only contract (interference.hpp): create one evaluator per
+// worker and never mutate the field while any evaluator is in flight.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "radio/interference.hpp"
+#include "util/assert.hpp"
+
+namespace idde::radio {
+
+class BatchEvaluator {
+ public:
+  /// The field (and its environment) must outlive the evaluator.
+  explicit BatchEvaluator(const InterferenceField& field);
+
+  /// Eq. 12 benefit of `user` at every candidate slot (servers[a], x),
+  /// laid out candidate-major: result[a * X + x]. `servers` must be an
+  /// ascending subset of the user's coverage set (the full set in the
+  /// plain game; a restriction under GameOptions::candidate_servers).
+  /// Interference is always accumulated over the full coverage set, like
+  /// the scalar path. The returned span aliases internal scratch and is
+  /// valid until the next call on this evaluator.
+  ///
+  /// Inline dispatch: a user covered by exactly one server has an empty
+  /// cross-cell sum by construction (the only interferer is the candidate
+  /// itself, which Eq. 2/12 skip), so the sweep collapses to the in-cell
+  /// terms with cross == 0 — the same bits the scalar path produces, at a
+  /// fraction of the setup cost. Everyone else takes the SoA sweep.
+  [[nodiscard]] std::span<const double> benefits(
+      std::size_t user, std::span<const std::size_t> servers) {
+    IDDE_EXPECTS(user < field_->env().user_count);
+    const unsigned cls = coverage_size_[user];
+    if (cls == 1 && servers.size() == 1) {
+      return single_server<false>(user, servers.front());
+    }
+    if (cls == 2 && servers.size() == 2) {
+      return pair_servers<false>(user, servers[0], servers[1]);
+    }
+    return benefits_batched(user, servers);
+  }
+
+  /// Eq. 2 SINR at every candidate slot; same layout and lifetime rules.
+  [[nodiscard]] std::span<const double> sinrs(
+      std::size_t user, std::span<const std::size_t> servers) {
+    IDDE_EXPECTS(user < field_->env().user_count);
+    const unsigned cls = coverage_size_[user];
+    if (cls == 1 && servers.size() == 1) {
+      return single_server<true>(user, servers.front());
+    }
+    if (cls == 2 && servers.size() == 2) {
+      return pair_servers<true>(user, servers[0], servers[1]);
+    }
+    return sinrs_batched(user, servers);
+  }
+
+  [[nodiscard]] const InterferenceField& field() const noexcept {
+    return *field_;
+  }
+
+ private:
+  /// The zero-cross fast path: benefits (WithNoise = false) or SINRs
+  /// (true) of a single-coverage user's lone candidate server. A template
+  /// rather than a bool parameter so each instantiation is branch-free in
+  /// its channel loop; defined inline below so the call collapses into
+  /// the best-response loop.
+  template <bool WithNoise>
+  [[nodiscard]] std::span<const double> single_server(std::size_t user,
+                                                      std::size_t server);
+
+  /// Fast path for |V_j| == 2 evaluated over the full pair: each candidate
+  /// has exactly one interferer (the other server), so the cross sum is a
+  /// single received-row read with the own-contribution correction applied
+  /// directly — no scratch accumulators, no gather setup. Bit-identical to
+  /// the scalar calls (single-term sums associate trivially). Inline below.
+  template <bool WithNoise>
+  [[nodiscard]] std::span<const double> pair_servers(std::size_t user,
+                                                     std::size_t s0,
+                                                     std::size_t s1);
+
+  /// General SoA sweeps (batch_eval.cpp).
+  [[nodiscard]] std::span<const double> benefits_batched(
+      std::size_t user, std::span<const std::size_t> servers);
+  [[nodiscard]] std::span<const double> sinrs_batched(
+      std::size_t user, std::span<const std::size_t> servers);
+
+  /// Fills cross_ with F_{i,x,j} (own contribution excluded, unclamped)
+  /// for every candidate, channel-major: cross_[x * C + a].
+  void accumulate_cross(std::size_t user,
+                        std::span<const std::size_t> servers);
+
+  const InterferenceField* field_;
+  std::vector<double> cross_;  ///< C*X cross-cell accumulators (x-major)
+  std::vector<double> gain_;   ///< g_{servers[a], j} gathered per call
+  std::vector<double> out_;    ///< C*X results (candidate-major)
+  /// min(|V_j|, 3) — precomputed so the fast-path dispatch above costs
+  /// one byte load instead of chasing the coverage vector-of-vectors.
+  std::vector<std::uint8_t> coverage_size_;
+};
+
+template <bool WithNoise>
+inline std::span<const double> BatchEvaluator::single_server(
+    std::size_t user, std::size_t server) {
+  const RadioEnvironment& env = field_->env();
+  const std::size_t channels = env.channels_per_server;
+  const ChannelSlot current = field_->allocation_[user];
+  const double p = env.power[user];
+  const double g = env.gain_at(server, user);
+  const double signal = g * p;
+  const double noise = WithNoise ? env.noise_watts : 0.0;
+  const double* const power_sum = field_->power_sum_.data() + server * channels;
+  double* const out = out_.data();
+  // Branch-free main sweep (all channels priced as off-slot); when the
+  // user sits on this server their own channel is then re-priced with the
+  // in_cell_power_excluding() special cases. Overwriting the one slot
+  // keeps every final value's expression tree identical to the scalar
+  // call — the cross sum is empty (o == server is skipped), so adding it
+  // is exact. The X == 3 case (the paper's channel count) is unrolled to
+  // straight-line code: three independent divisions pipeline, and the
+  // loop bookkeeping disappears.
+  const auto price = [&](double excl) {
+    const double in_cell = WithNoise ? g * excl : g * (excl + p);
+    return signal / (in_cell + noise);
+  };
+  if (channels == 3) {
+    out[0] = price(power_sum[0]);
+    out[1] = price(power_sum[1]);
+    out[2] = price(power_sum[2]);
+  } else {
+    for (std::size_t x = 0; x < channels; ++x) out[x] = price(power_sum[x]);
+  }
+  if (current.allocated() && current.server == server) {
+    const std::size_t cx = current.channel;
+    const double excl =
+        field_->users_on_[server * channels + cx] == 1
+            ? 0.0
+            : std::max(power_sum[cx] - p, 0.0);
+    out[cx] = price(excl);
+  }
+  return {out, channels};
+}
+
+template <bool WithNoise>
+inline std::span<const double> BatchEvaluator::pair_servers(std::size_t user,
+                                                            std::size_t s0,
+                                                            std::size_t s1) {
+  const RadioEnvironment& env = field_->env();
+  const std::size_t channels = env.channels_per_server;
+  const std::size_t n = env.server_count;
+  const ChannelSlot current = field_->allocation_[user];
+  const double p = env.power[user];
+  const double noise = WithNoise ? env.noise_watts : 0.0;
+  const double* const power_sum = field_->power_sum_.data();
+  const double* const received = field_->received_.data();
+  const std::size_t* const users_on = field_->users_on_.data();
+  double* const out = out_.data();
+  const std::size_t cand[2] = {s0, s1};
+  for (std::size_t a = 0; a < 2; ++a) {
+    const std::size_t c = cand[a];      // candidate (receiving) server
+    const std::size_t o = cand[1 - a];  // the only cross-cell interferer
+    const double g = env.gain_at(c, user);
+    const double signal = g * p;
+    const bool on_cand = current.allocated() && current.server == c;
+    const bool on_other = current.allocated() && current.server == o;
+    for (std::size_t x = 0; x < channels; ++x) {
+      const std::size_t cx = c * channels + x;
+      const std::size_t ox = o * channels + x;
+      // Single-term cross sum: the interferer row read at column c, with
+      // the scalar path's own-contribution special cases (exact zero when
+      // the user is alone on the interfering slot, else subtract g_c p).
+      double cross_raw = received[ox * n + c];
+      if (on_other && current.channel == x) {
+        cross_raw = users_on[ox] == 1 ? 0.0 : cross_raw - g * p;
+      }
+      const double cross = std::max(cross_raw, 0.0);
+      // in_cell_power_excluding(), inlined with the same special cases.
+      double excl = power_sum[cx];
+      if (on_cand && current.channel == x) {
+        excl = users_on[cx] == 1 ? 0.0 : std::max(power_sum[cx] - p, 0.0);
+      }
+      // Benefit (Eq. 12): signal / (g(excl+p) + cross); adding the 0.0
+      // noise term is exact because the denominator is positive. SINR
+      // (Eq. 2): signal / (g excl + cross + w), same association order.
+      const double in_cell = WithNoise ? g * excl : g * (excl + p);
+      out[a * channels + x] = signal / (in_cell + cross + noise);
+    }
+  }
+  return {out, 2 * channels};
+}
+
+}  // namespace idde::radio

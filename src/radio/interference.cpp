@@ -3,26 +3,37 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/error.hpp"
+
 namespace idde::radio {
 
 void RadioEnvironment::check() const {
-  IDDE_ASSERT(gain.size() == server_count * user_count,
-              "gain matrix shape mismatch");
-  IDDE_ASSERT(power.size() == user_count, "power vector shape mismatch");
-  IDDE_ASSERT(bandwidth.size() == server_count * channels_per_server,
-              "bandwidth shape mismatch");
-  IDDE_ASSERT(covering_servers.size() == user_count,
-              "coverage shape mismatch");
-  IDDE_ASSERT(channels_per_server > 0, "servers must expose channels");
-  IDDE_ASSERT(noise_watts >= 0.0, "negative noise power");
-  for (const double g : gain) IDDE_ASSERT(g >= 0.0, "negative gain");
-  for (const double p : power) IDDE_ASSERT(p > 0.0, "non-positive power");
-  for (const double b : bandwidth) IDDE_ASSERT(b > 0.0, "non-positive bandwidth");
+  util::validate(gain.size() == server_count * user_count,
+                 "radio environment: gain matrix shape mismatch");
+  util::validate(power.size() == user_count,
+                 "radio environment: power vector shape mismatch");
+  util::validate(bandwidth.size() == server_count * channels_per_server,
+                 "radio environment: bandwidth shape mismatch");
+  util::validate(covering_servers.size() == user_count,
+                 "radio environment: coverage shape mismatch");
+  util::validate(channels_per_server > 0,
+                 "radio environment: servers must expose channels");
+  util::validate(noise_watts >= 0.0, "radio environment: negative noise power");
+  for (const double g : gain) {
+    util::validate(g >= 0.0, "radio environment: negative gain");
+  }
+  for (const double p : power) {
+    util::validate(p > 0.0, "radio environment: non-positive power");
+  }
+  for (const double b : bandwidth) {
+    util::validate(b > 0.0, "radio environment: non-positive bandwidth");
+  }
   for (const auto& servers : covering_servers) {
-    IDDE_ASSERT(std::is_sorted(servers.begin(), servers.end()),
-                "coverage sets must be sorted");
+    util::validate(std::is_sorted(servers.begin(), servers.end()),
+                   "radio environment: coverage sets must be sorted");
     for (const std::size_t i : servers) {
-      IDDE_ASSERT(i < server_count, "coverage server out of range");
+      util::validate(i < server_count,
+                     "radio environment: coverage server out of range");
     }
   }
 }

@@ -51,7 +51,10 @@ struct RadioEnvironment {
                                     std::size_t channel) const {
     return bandwidth[server * channels_per_server + channel];
   }
-  /// Validates shapes and value ranges; aborts on inconsistency.
+  /// Validates shapes and value ranges; throws util::ValidationError on
+  /// the first inconsistency (environments come from files and generator
+  /// parameters — bad input must surface as a structured CLI error, not an
+  /// abort; see src/util/error.hpp).
   void check() const;
 };
 
@@ -145,6 +148,12 @@ class InterferenceField {
   }
 
  private:
+  /// BatchEvaluator reads power_sum_/received_/users_on_ directly so its
+  /// candidate sweep can stream whole received-power rows; it obeys the
+  /// same read-only thread-compatibility contract as the public
+  /// evaluation API and never mutates the field.
+  friend class BatchEvaluator;
+
   /// F_{i,x,j} with user j's own contribution excluded.
   [[nodiscard]] double cross_cell_interference(std::size_t user,
                                                ChannelSlot slot) const;

@@ -1,0 +1,30 @@
+// Typed exceptions for model-layer input validation.
+//
+// The PR 5 structured CLI error contract requires that malformed *input*
+// (files, generator parameters, environment shapes) surfaces as a typed
+// exception the idde_tool top-level handler can turn into one structured
+// stderr line and a nonzero exit — never an abort. IDDE_ASSERT remains the
+// right tool for *internal* invariants (a corrupted profile mid-solve is a
+// bug, not bad input); ValidationError is for data handed to us from
+// outside the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace idde::util {
+
+/// Inconsistent or out-of-range input data (shape mismatches, negative
+/// physical quantities, unsorted index sets). Carries a human-readable
+/// description of the first violation found.
+class ValidationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Throws ValidationError with `message` when `condition` is false.
+inline void validate(bool condition, const std::string& message) {
+  if (!condition) throw ValidationError(message);
+}
+
+}  // namespace idde::util

@@ -68,6 +68,13 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body) {
+  parallel_for_lanes(pool, count,
+                     [&body](std::size_t /*lane*/, std::size_t i) { body(i); });
+}
+
+void parallel_for_lanes(
+    ThreadPool& pool, std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
   if (count == 0) return;
   std::exception_ptr first_error;
   Mutex error_mutex;
@@ -79,12 +86,12 @@ void parallel_for(ThreadPool& pool, std::size_t count,
   Mutex done_mutex;
   CondVar done_cv;
   for (std::size_t lane = 0; lane < lanes; ++lane) {
-    pool.submit([&] {
+    pool.submit([&, lane] {
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= count) break;
         try {
-          body(i);
+          body(lane, i);
         } catch (...) {
           const MutexLock lock(error_mutex);
           if (!first_error) first_error = std::current_exception();

@@ -68,4 +68,12 @@ class ThreadPool {
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body);
 
+/// As parallel_for, but body(lane, i) also receives the index of the lane
+/// (worker task) executing it, in [0, min(pool.size(), count)). A lane
+/// runs on exactly one thread for the duration of the call, so lane-indexed
+/// scratch (per-worker evaluators, arenas) needs no synchronisation.
+void parallel_for_lanes(
+    ThreadPool& pool, std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body);
+
 }  // namespace idde::util

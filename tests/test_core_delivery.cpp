@@ -220,6 +220,35 @@ TEST(GreedyDelivery, LazyEvaluatesFarFewerCandidates) {
   EXPECT_LT(lazy.gain_evaluations, naive.gain_evaluations / 2);
 }
 
+// The planner owns reusable scratch (candidate heap, evaluator) that is
+// rewound per call — reusing one planner across allocations must give the
+// exact plan a fresh planner gives, in the exact order (the heap pops the
+// same sequence whether the backing vector is new or recycled).
+TEST(GreedyDelivery, ReusedPlannerMatchesFreshPlanner) {
+  for (std::uint64_t seed = 40; seed < 44; ++seed) {
+    const ProblemInstance inst = model::make_instance(tiny_params(8, 30, 4),
+                                                      seed);
+    const AllocationProfile alloc = equilibrium(inst);
+    GreedyDeliveryPlanner planner(inst);
+    const auto first = planner.plan(alloc);
+    const auto again = planner.plan(alloc);  // warm scratch, same input
+    const auto fresh = GreedyDeliveryPlanner(inst).plan(alloc);
+    for (const auto* other : {&again, &fresh}) {
+      EXPECT_EQ(first.gain_evaluations, other->gain_evaluations)
+          << "seed " << seed;
+      EXPECT_EQ(first.delivery.placement_count(),
+                other->delivery.placement_count())
+          << "seed " << seed;
+      for (std::size_t k = 0; k < inst.data_count(); ++k) {
+        for (std::size_t i = 0; i < inst.server_count(); ++i) {
+          EXPECT_EQ(first.delivery.placed(i, k), other->delivery.placed(i, k))
+              << "seed " << seed << " server " << i << " item " << k;
+        }
+      }
+    }
+  }
+}
+
 TEST(GreedyDelivery, RespectsStorage) {
   const ProblemInstance inst = model::make_instance(tiny_params(), 17);
   const AllocationProfile alloc = equilibrium(inst);

@@ -316,6 +316,38 @@ TEST(RepairPlanner, AllUpReplanIsANoOpOnGreedySigma) {
   }
 }
 
+// replan() rewinds member scratch (heap, evaluator, effective allocation)
+// per call; a warm planner must reproduce a fresh planner's repair exactly,
+// including across different outage masks on the same instance.
+TEST(RepairPlanner, ReusedPlannerMatchesFreshPlanner) {
+  const auto inst = model::make_instance(small_params(), 12);
+  util::Rng rng(12);
+  const auto strategy = core::IddeG().solve(inst, rng);
+  core::RepairPlanner warm(inst);
+  for (std::size_t dead = 0; dead < inst.server_count(); ++dead) {
+    std::vector<std::uint8_t> up(inst.server_count(), 1);
+    up[dead] = 0;
+    const auto reused =
+        warm.replan(strategy.allocation, strategy.delivery, up);
+    const auto fresh = core::RepairPlanner(inst).replan(
+        strategy.allocation, strategy.delivery, up);
+    EXPECT_EQ(reused.lost_placements, fresh.lost_placements) << dead;
+    EXPECT_EQ(reused.repair_placements, fresh.repair_placements) << dead;
+    EXPECT_DOUBLE_EQ(reused.recovered_gain_seconds,
+                     fresh.recovered_gain_seconds)
+        << dead;
+    EXPECT_EQ(reused.delivery.placement_count(),
+              fresh.delivery.placement_count())
+        << dead;
+    for (std::size_t k = 0; k < inst.data_count(); ++k) {
+      for (std::size_t i = 0; i < inst.server_count(); ++i) {
+        EXPECT_EQ(reused.delivery.placed(i, k), fresh.delivery.placed(i, k))
+            << "dead " << dead << " server " << i << " item " << k;
+      }
+    }
+  }
+}
+
 TEST(RepairPlanner, CrashLosesAndRepairsUnderStorageBudget) {
   const auto inst = model::make_instance(small_params(), 11);
   util::Rng rng(11);

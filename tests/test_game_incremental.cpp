@@ -90,6 +90,41 @@ TEST(IncrementalEngine, ParallelReplaysFullScanDynamics) {
   }
 }
 
+// Kernel swap invariance: with GameOptions::batched toggled off the engine
+// prices slots through per-slot InterferenceField calls (the scalar
+// oracle); with it on, through the BatchEvaluator SoA kernel. The kernels
+// are bit-identical by contract, so every rule at every thread count must
+// produce the same move sequence, round count, and final allocation —
+// and the same number of benefit evaluations, since dirty-set scheduling
+// is untouched by the kernel choice.
+TEST(IncrementalEngine, BatchedKernelReplaysScalarKernelDynamics) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const ProblemInstance inst = model::make_instance(shape(10, 60), seed);
+    for (const UpdateRule rule : kAllRules) {
+      for (const std::size_t threads :
+           {std::size_t{1}, std::size_t{0}, std::size_t{3}}) {
+        GameOptions options;
+        options.rule = rule;
+        options.incremental = true;
+        options.threads = threads;
+        options.batched = false;
+        const GameResult scalar = IddeUGame(inst, options).run();
+        options.batched = true;
+        const GameResult batched = IddeUGame(inst, options).run();
+        expect_same_dynamics(scalar, batched, seed, rule);
+        // At matched thread counts the schedule is identical too, so the
+        // kernels must price the exact same set of slots. (Across thread
+        // counts kAsyncSweep legitimately evaluates more — the fan-out
+        // refreshes speculatively — which is why scalar and batched are
+        // paired per thread count here.)
+        EXPECT_EQ(scalar.benefit_evaluations, batched.benefit_evaluations)
+            << "seed " << seed << " rule " << static_cast<int>(rule)
+            << " threads " << threads;
+      }
+    }
+  }
+}
+
 // The point of the dirty set: a move perturbs only two channel slots, so
 // on a paper-shaped instance most cached responses survive each round and
 // the evaluation count collapses (the bench's acceptance bar is 3x; the

@@ -8,6 +8,7 @@
 #include "radio/interference.hpp"
 #include "radio/pathloss.hpp"
 #include "radio/units.hpp"
+#include "util/error.hpp"
 #include "util/random.hpp"
 
 namespace {
@@ -96,6 +97,37 @@ std::vector<ChannelSlot> random_alloc(const RadioEnvironment& env, Rng& rng,
                            rng.index(env.channels_per_server)};
   }
   return alloc;
+}
+
+// check() is the model-layer gate for file- and generator-sourced
+// environments: inconsistencies must surface as util::ValidationError (the
+// structured CLI error contract), not as an abort.
+TEST(RadioEnvironment, CheckThrowsValidationErrorOnBadInput) {
+  Rng rng(7);
+  const RadioEnvironment good = make_env(3, 4, 2, rng, 1.0);
+  EXPECT_NO_THROW(good.check());
+
+  RadioEnvironment bad = good;
+  bad.gain.pop_back();  // shape mismatch
+  EXPECT_THROW(bad.check(), idde::util::ValidationError);
+
+  bad = good;
+  bad.power[1] = 0.0;  // non-positive transmit power
+  EXPECT_THROW(bad.check(), idde::util::ValidationError);
+
+  bad = good;
+  bad.noise_watts = -1.0;
+  EXPECT_THROW(bad.check(), idde::util::ValidationError);
+
+  bad = good;
+  std::swap(bad.covering_servers[0].front(), bad.covering_servers[0].back());
+  if (bad.covering_servers[0].size() > 1) {  // unsorted coverage set
+    EXPECT_THROW(bad.check(), idde::util::ValidationError);
+  }
+
+  bad = good;
+  bad.covering_servers[2].push_back(99);  // server index out of range
+  EXPECT_THROW(bad.check(), idde::util::ValidationError);
 }
 
 TEST(InterferenceField, SingleUserSeesOnlyNoise) {

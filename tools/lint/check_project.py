@@ -34,13 +34,25 @@ clang-tidy cannot know about:
                 use a structure whose growth is externally limited.
                 std::priority_queue (the DES event heap, bounded by the
                 arrival schedule) is deliberately not matched.
+  hot-path-alloc
+                allocation syntax in the hot-tagged kernel files
+                (HOT_PATH_FILES below — the per-move planner/evaluator
+                inner loops): `new`, make_unique/make_shared, or a
+                push_back/emplace_back whose receiver has no `.reserve(`
+                anywhere in the file. These files are measured
+                allocation-free per move (bench/perf_kernels gates on it);
+                a stray heap allocation is a silent perf regression long
+                before it is a correctness one. Cold-path sites (ctors,
+                one-time setup) opt out with a trailing
+                `// lint: alloc-ok(<reason>)` comment.
 
 Scope: src/ bench/ tools/ examples/ (tests/ may use raw std::thread — the
 concurrency stress suite drives the pool with them on purpose). src/util/
 is exempt from naked-sync: it implements the wrappers.
 
 A line can opt out with a trailing `// lint: allow(<rule>)` comment carrying
-a justification nearby. Exit status 1 on findings; 0 when clean.
+a justification nearby (hot-path-alloc uses the dedicated alloc-ok form so
+the reason is mandatory). Exit status 1 on findings; 0 when clean.
 """
 
 from __future__ import annotations
@@ -71,6 +83,26 @@ QUEUE_PATTERN = re.compile(r"\bstd::(deque|queue)\s*<")
 CAPACITY_NOTE = "capacity-bound:"
 ALLOW_PATTERN = re.compile(r"//\s*lint:\s*allow\((?P<rules>[\w\-, ]+)\)")
 
+# Hot-tagged kernel files: their inner loops run per candidate move and are
+# benchmarked allocation-free (bench/perf_kernels --smoke gates on the
+# warm-call allocation count). Repo-relative POSIX paths.
+HOT_PATH_FILES = {
+    "src/radio/interference.cpp",
+    "src/radio/batch_eval.cpp",
+    "src/radio/batch_eval.hpp",  # inline fast paths live in the header
+    "src/core/greedy_delivery.cpp",
+    "src/core/repair_planner.cpp",
+}
+NEW_EXPR_PATTERN = re.compile(r"(?<![\w:.])new\b")
+MAKE_PTR_PATTERN = re.compile(r"\bmake_(unique|shared)\b")
+# Captures the receiver expression so reservation can be checked per
+# container: `foo_.push_back(` -> receiver "foo_".
+PUSH_BACK_PATTERN = re.compile(
+    r"(?P<recv>[A-Za-z_]\w*(?:\.\w+|->\w+|\[\w*\])*)\s*\.\s*"
+    r"(?:push_back|emplace_back)\s*\("
+)
+ALLOC_OK_PATTERN = re.compile(r"//\s*lint:\s*alloc-ok\([^)]+\)")
+
 LINE_COMMENT = re.compile(r"//.*$")
 BLOCK_COMMENT_SPAN = re.compile(r"/\*.*?\*/")
 STRING_LITERAL = re.compile(r'"(?:[^"\\]|\\.)*"')
@@ -99,6 +131,7 @@ def allowed_rules(line: str) -> set[str]:
 def scan_file(path: Path) -> list[tuple[Path, int, str, str]]:
     findings = []
     rel = path.relative_to(REPO_ROOT)
+    hot_path = rel.as_posix() in HOT_PATH_FILES
     in_util = rel.parts[:2] == ("src", "util")
     sleep_exempt = rel.parts[:2] in (("src", "util"), ("src", "des"))
     timing_exempt = rel.parts[:2] in (("src", "util"), ("src", "obs"))
@@ -106,7 +139,8 @@ def scan_file(path: Path) -> list[tuple[Path, int, str, str]]:
     is_header = path.suffix in HEADER_SUFFIXES
     in_block_comment = False
 
-    lines = path.read_text(errors="replace").splitlines()
+    text = path.read_text(errors="replace")
+    lines = text.splitlines()
     for lineno, raw in enumerate(lines, 1):
         allows = allowed_rules(raw)
         line = raw
@@ -155,6 +189,28 @@ def scan_file(path: Path) -> list[tuple[Path, int, str, str]]:
                 "obs::ScopedSpan (obs/trace.hpp) so the measurement feeds "
                 "the phase rollup and chrome traces",
             )
+        if hot_path and not ALLOC_OK_PATTERN.search(raw):
+            if NEW_EXPR_PATTERN.search(code) or MAKE_PTR_PATTERN.search(code):
+                report(
+                    "hot-path-alloc",
+                    "heap allocation in a hot-tagged kernel file; hoist it "
+                    "into member scratch, or mark the cold-path site with "
+                    "`// lint: alloc-ok(<reason>)`",
+                )
+            for match in PUSH_BACK_PATTERN.finditer(code):
+                # A push_back may grow its container. Reserved containers
+                # (any `<receiver>.reserve(` in the file) amortise to zero
+                # per-move allocations; everything else must justify itself.
+                recv = match.group("recv")
+                if re.escape(recv) and re.search(
+                        re.escape(recv) + r"\s*\.\s*reserve\s*\(", text):
+                    continue
+                report(
+                    "hot-path-alloc",
+                    f"push_back on `{recv}` with no `.reserve(` in this "
+                    "hot-tagged kernel file; reserve the container or mark "
+                    "the site with `// lint: alloc-ok(<reason>)`",
+                )
         if queue_scoped and QUEUE_PATTERN.search(code):
             # A `capacity-bound: ...` note on the line or within the three
             # lines above documents how growth is limited.
