@@ -31,7 +31,7 @@ void run_rule(benchmark::State& state, core::UpdateRule rule) {
   state.counters["moves"] = static_cast<double>(last.moves);
   state.counters["benefit_evals"] =
       static_cast<double>(last.benefit_evaluations);
-  state.counters["R_avg"] = core::average_data_rate(inst, last.allocation);
+  state.counters["R_avg"] = core::average_data_rate_mbps(inst, last.allocation);
 }
 
 void BM_RuleBestImprovement(benchmark::State& state) {

@@ -43,6 +43,8 @@
 
 namespace {
 
+// memory-order: seq_cst counters toggled/read only on the bench main
+// thread between single-threaded kernel calls; no ordering is derived.
 std::atomic<std::size_t> g_alloc_count{0};
 std::atomic<bool> g_count_allocs{false};
 

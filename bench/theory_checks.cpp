@@ -99,9 +99,9 @@ void check_poa(int seeds) {
         sized(3, 5, 2), 32000 + static_cast<std::uint64_t>(seed));
     const auto equilibrium = core::IddeUGame(inst).run();
     const double eq_rate =
-        core::average_data_rate(inst, equilibrium.allocation);
+        core::average_data_rate_mbps(inst, equilibrium.allocation);
     const double opt_rate =
-        core::average_data_rate(inst, solver::optimal_allocation(inst));
+        core::average_data_rate_mbps(inst, solver::optimal_allocation(inst));
     const double rho = opt_rate == 0.0 ? 1.0 : eq_rate / opt_rate;
     // Theorem 5's lower bound: R_min/R_max over the user population.
     double r_min = 1e300;

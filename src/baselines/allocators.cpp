@@ -22,7 +22,7 @@ AllocationProfile nearest_allocation(const model::ProblemInstance& instance,
     double best_distance = std::numeric_limits<double>::infinity();
     std::size_t best_server = ChannelSlot::kNone;
     for (const std::size_t i : instance.covering_servers(j)) {
-      const double d = geo::distance(instance.server(i).position,
+      const double d = geo::distance_m(instance.server(i).position,
                                      instance.user(j).position);
       if (d < best_distance) {
         best_distance = d;

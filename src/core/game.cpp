@@ -287,6 +287,8 @@ GameResult IddeUGame::run_incremental(const AllocationProfile& start) {
       // shared with other in-flight work.
       IDDE_OBS_HISTOGRAM("game.pool_queue_depth", pool->queued());
       const std::uint64_t version_before = field.version();
+      // memory-order: seq_cst tally; only read after parallel_for_lanes
+      // joins, so no cross-thread ordering is derived from it.
       std::atomic<std::size_t> evaluations{0};
       util::parallel_for_lanes(
           *pool, dirty_list.size(), [&](std::size_t lane, std::size_t idx) {

@@ -16,13 +16,13 @@ std::vector<double> user_rates(const model::ProblemInstance& instance,
   std::vector<double> rates(instance.user_count(), 0.0);
   for (std::size_t j = 0; j < allocation.size(); ++j) {
     if (!allocation[j].allocated()) continue;
-    const double shannon = field.rate(j, allocation[j]);
+    const double shannon = field.rate_mbps(j, allocation[j]);
     rates[j] = std::min(instance.user(j).max_rate_mbps, shannon);
   }
   return rates;
 }
 
-double average_data_rate(const model::ProblemInstance& instance,
+double average_data_rate_mbps(const model::ProblemInstance& instance,
                          const AllocationProfile& allocation) {
   if (instance.user_count() == 0) return 0.0;
   const auto rates = user_rates(instance, allocation);
@@ -45,7 +45,7 @@ double average_latency_ms(const model::ProblemInstance& instance,
 StrategyMetrics evaluate(const model::ProblemInstance& instance,
                          const Strategy& strategy) {
   StrategyMetrics metrics;
-  metrics.avg_rate_mbps = average_data_rate(instance, strategy.allocation);
+  metrics.avg_rate_mbps = average_data_rate_mbps(instance, strategy.allocation);
   metrics.avg_latency_ms =
       average_latency_ms(instance, strategy.allocation, strategy.delivery,
                          strategy.collaborative_delivery);

@@ -17,7 +17,7 @@ namespace idde::core {
     const AllocationProfile& allocation);
 
 /// R_avg (Eq. 5): mean over all M users (unallocated count as 0). MB/s.
-[[nodiscard]] double average_data_rate(const model::ProblemInstance& instance,
+[[nodiscard]] double average_data_rate_mbps(const model::ProblemInstance& instance,
                                        const AllocationProfile& allocation);
 
 /// L_avg (Eq. 9) in milliseconds (the paper reports ms). `collaborative`

@@ -9,7 +9,7 @@
 
 namespace idde::core {
 
-double interference_bound(const model::ProblemInstance& instance,
+double interference_bound_watts(const model::ProblemInstance& instance,
                           std::size_t user) {
   const auto& env = instance.radio_env();
   const auto& covering = env.covering_servers[user];
@@ -26,7 +26,7 @@ double interference_bound(const model::ProblemInstance& instance,
     const double g = env.gain_at(i, user);
     best_gain = std::max(best_gain, g);
     for (std::size_t x = 0; x < env.channels_per_server; ++x) {
-      const double b = env.bandwidth_at(i, x);
+      const double b = env.bandwidth_mbps_at(i, x);
       const double solo_rate =
           b * std::log2(1.0 + g * env.power[user] / env.noise_watts);
       if (solo_rate < r_min) {
@@ -64,7 +64,7 @@ double potential(const model::ProblemInstance& instance,
       // 1/2 sum_{j} sum_{q != j} beta_j beta_q over allocated pairs.
       pairwise += beta[j] * (beta_sum - beta[j]);
     } else {
-      penalty += interference_bound(instance, j) * beta_sum;
+      penalty += interference_bound_watts(instance, j) * beta_sum;
     }
   }
   return 0.5 * pairwise - penalty;

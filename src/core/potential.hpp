@@ -13,7 +13,7 @@ namespace idde::core {
 /// evaluated at user j's best covering server and with R_{j,min} taken as
 /// the smallest single-user rate over j's candidate channels. Returns 0 for
 /// uncovered users (they have no candidate channels).
-[[nodiscard]] double interference_bound(const model::ProblemInstance& instance,
+[[nodiscard]] double interference_bound_watts(const model::ProblemInstance& instance,
                                         std::size_t user);
 
 /// Eq. 13: pairwise-product potential over allocated users, minus the

@@ -42,7 +42,7 @@ void RandomWaypointModel::step(double dt_seconds, util::Rng& rng) {
         budget -= pause;
         continue;
       }
-      const double dist_to_waypoint = geo::distance(pos, walk.waypoint);
+      const double dist_to_waypoint = geo::distance_m(pos, walk.waypoint);
       const double reachable = walk.speed_mps * budget;
       if (reachable >= dist_to_waypoint) {
         // Arrive, pause, re-target.

@@ -189,7 +189,7 @@ DynamicSummary DynamicSimulation::run() {
       record.latency_ms =
           masked_latency_ms(snapshot, allocation, churn.mask(), bound);
     } else {
-      record.rate_mbps = core::average_data_rate(snapshot, allocation);
+      record.rate_mbps = core::average_data_rate_mbps(snapshot, allocation);
       record.latency_ms =
           core::average_latency_ms(snapshot, allocation, bound);
     }

@@ -20,13 +20,13 @@ model::ProblemInstance with_user_positions(
     const geo::Point& sp = base.server(i).position;
     for (std::size_t j = 0; j < users.size(); ++j) {
       env.gain[i * users.size() + j] =
-          pathloss.gain(geo::distance(sp, positions[j]));
+          pathloss.gain(geo::distance_m(sp, positions[j]));
     }
   }
   for (std::size_t j = 0; j < users.size(); ++j) {
     env.covering_servers[j].clear();
     for (std::size_t i = 0; i < base.server_count(); ++i) {
-      if (geo::distance(base.server(i).position, positions[j]) <=
+      if (geo::distance_m(base.server(i).position, positions[j]) <=
           base.server(i).coverage_radius_m) {
         env.covering_servers[j].push_back(i);
       }

@@ -61,7 +61,7 @@ EuaScenario subsample_covered(const EuaScenario& full, std::size_t n,
   for (std::size_t j = 0; j < full.user_positions.size(); ++j) {
     bool is_covered = false;
     for (std::size_t s = 0; s < n && !is_covered; ++s) {
-      is_covered = distance(out.server_positions[s], full.user_positions[j]) <=
+      is_covered = distance_m(out.server_positions[s], full.user_positions[j]) <=
                    out.coverage_radii_m[s];
     }
     (is_covered ? covered : uncovered).push_back(j);

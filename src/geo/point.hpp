@@ -14,15 +14,15 @@ struct Point {
   friend constexpr bool operator==(const Point&, const Point&) = default;
 };
 
-[[nodiscard]] inline double squared_distance(const Point& a,
+[[nodiscard]] inline double squared_distance_m2(const Point& a,
                                              const Point& b) noexcept {
   const double dx = a.x - b.x;
   const double dy = a.y - b.y;
   return dx * dx + dy * dy;
 }
 
-[[nodiscard]] inline double distance(const Point& a, const Point& b) noexcept {
-  return std::sqrt(squared_distance(a, b));
+[[nodiscard]] inline double distance_m(const Point& a, const Point& b) noexcept {
+  return std::sqrt(squared_distance_m2(a, b));
 }
 
 }  // namespace idde::geo

@@ -9,14 +9,14 @@
 namespace idde::geo {
 
 SpatialGrid::SpatialGrid(const std::vector<Point>& points, BoundingBox bounds,
-                         double cell_size)
-    : points_(points), bounds_(bounds), cell_size_(cell_size) {
-  IDDE_EXPECTS(cell_size > 0.0);
+                         double cell_size_m)
+    : points_(points), bounds_(bounds), cell_size_(cell_size_m) {
+  IDDE_EXPECTS(cell_size_m > 0.0);
   IDDE_EXPECTS(bounds.width() >= 0.0 && bounds.height() >= 0.0);
   cells_x_ = std::max<std::size_t>(
-      1, static_cast<std::size_t>(std::ceil(bounds.width() / cell_size)));
+      1, static_cast<std::size_t>(std::ceil(bounds.width() / cell_size_m)));
   cells_y_ = std::max<std::size_t>(
-      1, static_cast<std::size_t>(std::ceil(bounds.height() / cell_size)));
+      1, static_cast<std::size_t>(std::ceil(bounds.height() / cell_size_m)));
 
   // Counting sort into CSR cells.
   std::vector<std::size_t> counts(cells_x_ * cells_y_ + 1, 0);
@@ -44,18 +44,18 @@ std::size_t SpatialGrid::cell_of(const Point& p) const noexcept {
 }
 
 std::vector<std::size_t> SpatialGrid::query_radius(const Point& center,
-                                                   double radius) const {
-  IDDE_EXPECTS(radius >= 0.0);
+                                                   double radius_m) const {
+  IDDE_EXPECTS(radius_m >= 0.0);
   std::vector<std::size_t> result;
   if (points_.empty()) return result;
 
   const Point clamped = bounds_.clamp(center);
-  const auto span = static_cast<std::ptrdiff_t>(radius / cell_size_) + 1;
+  const auto span = static_cast<std::ptrdiff_t>(radius_m / cell_size_) + 1;
   const auto ccx = static_cast<std::ptrdiff_t>(
       (clamped.x - bounds_.min.x) / cell_size_);
   const auto ccy = static_cast<std::ptrdiff_t>(
       (clamped.y - bounds_.min.y) / cell_size_);
-  const double r2 = radius * radius;
+  const double r2 = radius_m * radius_m;
 
   for (std::ptrdiff_t cy = ccy - span; cy <= ccy + span; ++cy) {
     if (cy < 0 || cy >= static_cast<std::ptrdiff_t>(cells_y_)) continue;
@@ -65,7 +65,7 @@ std::vector<std::size_t> SpatialGrid::query_radius(const Point& center,
                                        static_cast<std::size_t>(cy));
       for (std::size_t s = cell_start_[c]; s < cell_start_[c + 1]; ++s) {
         const std::size_t i = cell_items_[s];
-        if (squared_distance(points_[i], center) <= r2) result.push_back(i);
+        if (squared_distance_m2(points_[i], center) <= r2) result.push_back(i);
       }
     }
   }
@@ -84,7 +84,7 @@ std::size_t SpatialGrid::nearest(const Point& center) const {
     const double reach = static_cast<double>(ring) * cell_size_;
     const auto candidates = query_radius(center, reach + cell_size_);
     for (const std::size_t i : candidates) {
-      const double d2 = squared_distance(points_[i], center);
+      const double d2 = squared_distance_m2(points_[i], center);
       if (d2 < best_d2) {
         best_d2 = d2;
         best = i;

@@ -14,13 +14,13 @@ namespace idde::geo {
 class SpatialGrid {
  public:
   /// Builds an index over `points` inside `bounds` with roughly
-  /// `cell_size`-metre cells. Points outside bounds are clamped into it.
+  /// `cell_size_m`-metre cells. Points outside bounds are clamped into it.
   SpatialGrid(const std::vector<Point>& points, BoundingBox bounds,
-              double cell_size);
+              double cell_size_m);
 
-  /// Indices of all points within `radius` of `center` (inclusive).
+  /// Indices of all points within `radius_m` metres of `center` (inclusive).
   [[nodiscard]] std::vector<std::size_t> query_radius(const Point& center,
-                                                      double radius) const;
+                                                      double radius_m) const;
 
   /// Index of the nearest point to `center`; npos when the grid is empty.
   [[nodiscard]] std::size_t nearest(const Point& center) const;

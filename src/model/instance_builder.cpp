@@ -128,7 +128,7 @@ ProblemInstance InstanceBuilder::build(std::uint64_t seed) const {
   for (std::size_t i = 0; i < params_.server_count; ++i) {
     for (std::size_t j = 0; j < params_.user_count; ++j) {
       env.gain[i * params_.user_count + j] = pathloss.sample_gain(
-          geo::distance(servers[i].position, users[j].position), shadow_rng);
+          geo::distance_m(servers[i].position, users[j].position), shadow_rng);
     }
   }
 
@@ -146,7 +146,7 @@ ProblemInstance InstanceBuilder::build(std::uint64_t seed) const {
   for (std::size_t j = 0; j < params_.user_count; ++j) {
     for (const std::size_t i :
          grid.query_radius(users[j].position, max_radius)) {
-      if (geo::distance(servers[i].position, users[j].position) <=
+      if (geo::distance_m(servers[i].position, users[j].position) <=
           servers[i].coverage_radius_m) {
         env.covering_servers[j].push_back(i);
       }

@@ -187,7 +187,7 @@ ProblemInstance instance_from_json(const Json& json) {
   env.covering_servers.resize(users.size());
   for (std::size_t j = 0; j < users.size(); ++j) {
     for (std::size_t i = 0; i < servers.size(); ++i) {
-      if (geo::distance(servers[i].position, users[j].position) <=
+      if (geo::distance_m(servers[i].position, users[j].position) <=
           servers[i].coverage_radius_m) {
         env.covering_servers[j].push_back(i);
       }

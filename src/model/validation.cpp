@@ -30,7 +30,7 @@ std::vector<std::string> validate_instance(const ProblemInstance& instance) {
   for (std::size_t j = 0; j < instance.user_count(); ++j) {
     // Coverage sets must agree with geometry.
     for (const std::size_t i : instance.covering_servers(j)) {
-      const double d = geo::distance(instance.server(i).position,
+      const double d = geo::distance_m(instance.server(i).position,
                                      instance.user(j).position);
       if (d > instance.server(i).coverage_radius_m + 1e-9) {
         complain(util::format(

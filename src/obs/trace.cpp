@@ -34,7 +34,7 @@ void Tracer::record(std::string_view name,
   std::shared_ptr<ThreadBuffer> buffer;
   double ts_us = 0.0;
   {
-    const util::MutexLock lock(mutex_);
+    const util::MutexLock rollup_lock(rollup_mutex_);
     auto it = rollup_.find(name);
     if (it == rollup_.end()) {
       it = rollup_
@@ -47,6 +47,10 @@ void Tracer::record(std::string_view name,
     aggregate.max_ms = std::max(aggregate.max_ms, duration_ms);
     aggregate.histogram.record(duration_ms);
     if (capture) {
+      // Nested under rollup_mutex_ (declared rollup_mutex_ -> mutex_) so a
+      // concurrent reset() — which takes both — cannot slip between the
+      // rollup sample above and this buffer registration.
+      const util::MutexLock lock(mutex_);
       // Clamped: a span constructed before the tracer existed (or before a
       // reset re-anchored the clock) starts at the origin, not before it.
       ts_us = std::max(
@@ -121,7 +125,7 @@ bool Tracer::write_chrome_trace(const std::string& path) {
 util::TextTable Tracer::rollup_table() {
   util::TextTable table({"phase", "count", "total ms", "mean ms", "p50 ms",
                          "p90 ms", "p99 ms", "max ms"});
-  const util::MutexLock lock(mutex_);
+  const util::MutexLock lock(rollup_mutex_);
   for (const auto& [name, aggregate] : rollup_) {
     const HistogramSnapshot snap = aggregate->histogram.snapshot();
     table.start_row()
@@ -141,7 +145,7 @@ util::TextTable Tracer::rollup_table() {
 }
 
 util::Json Tracer::rollup_json() {
-  const util::MutexLock lock(mutex_);
+  const util::MutexLock lock(rollup_mutex_);
   util::JsonObject doc;
   for (const auto& [name, aggregate] : rollup_) {
     const HistogramSnapshot snap = aggregate->histogram.snapshot();
@@ -163,6 +167,9 @@ util::Json Tracer::rollup_json() {
 }
 
 void Tracer::reset() {
+  // Both capabilities, in the declared order, so no span can land half of
+  // its (rollup sample, trace event) pair across the wipe.
+  const util::MutexLock rollup_lock(rollup_mutex_);
   const util::MutexLock lock(mutex_);
   buffers_.clear();
   rollup_.clear();

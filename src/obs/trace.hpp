@@ -54,7 +54,7 @@ class Tracer {
   /// trace_enabled().
   void record(std::string_view name,
               std::chrono::steady_clock::time_point start, double duration_ms,
-              std::string_view args) IDDE_EXCLUDES(mutex_);
+              std::string_view args) IDDE_EXCLUDES(rollup_mutex_, mutex_);
 
   /// Chrome trace_event document:
   /// {"displayTimeUnit":"ms","traceEvents":[{name,cat,ph,ts,dur,pid,tid,
@@ -66,16 +66,16 @@ class Tracer {
 
   /// Flat per-phase summary, one row per span name:
   /// phase | count | total ms | mean | p50 | p90 | p99 | max.
-  [[nodiscard]] util::TextTable rollup_table() IDDE_EXCLUDES(mutex_);
+  [[nodiscard]] util::TextTable rollup_table() IDDE_EXCLUDES(rollup_mutex_);
 
   /// The same rollup as JSON: {name: {count,total_ms,mean_ms,p50,...}}.
-  [[nodiscard]] util::Json rollup_json() IDDE_EXCLUDES(mutex_);
+  [[nodiscard]] util::Json rollup_json() IDDE_EXCLUDES(rollup_mutex_);
 
   /// Drops all buffered events and rollup aggregates and re-anchors the
   /// trace clock. Buffers cached by live threads are re-registered on
   /// their next event (epoch check), so reset is safe at any quiescent
   /// point — not concurrently with spans still ending.
-  void reset() IDDE_EXCLUDES(mutex_);
+  void reset() IDDE_EXCLUDES(rollup_mutex_, mutex_);
 
  private:
   struct ThreadBuffer {
@@ -94,14 +94,23 @@ class Tracer {
   /// The calling thread's buffer for the current epoch, registering a
   /// fresh one if the cached pointer is stale. The registry lock is held
   /// only for the buffer lookup; the caller appends events under the
-  /// buffer's own mutex afterwards, so the two locks never nest.
+  /// buffer's own mutex after both tracer locks are released.
   [[nodiscard]] std::shared_ptr<ThreadBuffer> local_buffer_locked()
       IDDE_REQUIRES(mutex_);
 
+  // Two capabilities so the hot rollup update (every span end when obs is
+  // enabled) never contends with exports or buffer-registry traffic:
+  //   rollup_mutex_  the per-phase aggregates;
+  //   mutex_         the buffer registry, epoch, and trace-clock origin.
+  // Lock order: rollup_mutex_ -> mutex_. record() keeps rollup_mutex_ held
+  // across the nested registry lookup so one span's (rollup sample, trace
+  // event) pair stays atomic with respect to reset(), which takes both in
+  // the same order.
   mutable util::Mutex mutex_;
+  mutable util::Mutex rollup_mutex_ IDDE_ACQUIRED_BEFORE(mutex_);
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_ IDDE_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<PhaseAggregate>, std::less<>> rollup_
-      IDDE_GUARDED_BY(mutex_);
+      IDDE_GUARDED_BY(rollup_mutex_);
   std::uint64_t epoch_ IDDE_GUARDED_BY(mutex_) = 1;
   std::chrono::steady_clock::time_point origin_ IDDE_GUARDED_BY(mutex_) =
       std::chrono::steady_clock::now();

@@ -37,11 +37,11 @@ class CircuitBreaker {
         // capacity-bound: config.window outcomes (ring buffer).
         outcomes_(config.window > 0 ? config.window : 1, 0) {}
 
-  /// May this server serve a delivery starting at `now`? Transitions
+  /// May this server serve a delivery starting at `now_s` (simulated seconds)? Transitions
   /// open -> half-open when the cooldown has elapsed.
-  [[nodiscard]] bool allows(double now) noexcept {
+  [[nodiscard]] bool allows(double now_s) noexcept {
     if (config_.inert()) return true;
-    refresh(now);
+    refresh(now_s);
     if (state_ == BreakerState::kClosed) return true;
     if (state_ == BreakerState::kOpen) return false;
     return probes_started_ < config_.half_open_probes;
@@ -49,15 +49,15 @@ class CircuitBreaker {
 
   /// The engine actually routed a delivery from this server (counts a
   /// half-open probe).
-  void on_attempt_started(double now) noexcept {
+  void on_attempt_started(double now_s) noexcept {
     if (config_.inert()) return;
-    refresh(now);
+    refresh(now_s);
     if (state_ == BreakerState::kHalfOpen) ++probes_started_;
   }
 
-  void record_success(double now) noexcept {
+  void record_success(double now_s) noexcept {
     if (config_.inert()) return;
-    refresh(now);
+    refresh(now_s);
     if (state_ == BreakerState::kHalfOpen) {
       close();
       return;
@@ -65,11 +65,11 @@ class CircuitBreaker {
     if (state_ == BreakerState::kClosed) push_outcome(1);
   }
 
-  void record_failure(double now) noexcept {
+  void record_failure(double now_s) noexcept {
     if (config_.inert()) return;
-    refresh(now);
+    refresh(now_s);
     if (state_ == BreakerState::kHalfOpen) {
-      open(now);
+      open(now_s);
       return;
     }
     if (state_ != BreakerState::kClosed) return;  // outcomes while open: moot
@@ -77,12 +77,12 @@ class CircuitBreaker {
     if (filled_ >= config_.min_samples && filled_ > 0) {
       const double failure_rate =
           static_cast<double>(failures_) / static_cast<double>(filled_);
-      if (failure_rate >= config_.failure_threshold) open(now);
+      if (failure_rate >= config_.failure_threshold) open(now_s);
     }
   }
 
-  [[nodiscard]] BreakerState state(double now) noexcept {
-    refresh(now);
+  [[nodiscard]] BreakerState state(double now_s) noexcept {
+    refresh(now_s);
     return state_;
   }
 
@@ -93,16 +93,16 @@ class CircuitBreaker {
   }
 
  private:
-  void refresh(double now) noexcept {
-    if (state_ == BreakerState::kOpen && now >= open_until_) {
+  void refresh(double now_s) noexcept {
+    if (state_ == BreakerState::kOpen && now_s >= open_until_) {
       state_ = BreakerState::kHalfOpen;
       probes_started_ = 0;
     }
   }
 
-  void open(double now) noexcept {
+  void open(double now_s) noexcept {
     state_ = BreakerState::kOpen;
-    open_until_ = now + config_.open_duration_s;
+    open_until_ = now_s + config_.open_duration_s;
     ++times_opened_;
   }
 

@@ -49,7 +49,7 @@ void BatchEvaluator::accumulate_cross(std::size_t user,
   // candidates may be a restricted subset — DUP-G — but every covering
   // server interferes). For a fixed accumulator (a, x) the terms land in
   // ascending-server order with o == servers[a] skipped — the exact
-  // summation sequence of the scalar cross_cell_interference() loop, so
+  // summation sequence of the scalar cross_cell_interference_watts() loop, so
   // the accumulated values are bit-identical to the per-slot path.
   std::size_t skip = 0;  // candidates and coverage are both ascending
   for (const std::size_t o : env.covering_servers[user]) {
@@ -67,7 +67,7 @@ void BatchEvaluator::accumulate_cross(std::size_t user,
       if (on_server && current.channel == x) {
         // The user's own transmission lands in this row. Alone on the
         // channel it contributes exactly zero (the residue rationale in
-        // in_cell_power_excluding); otherwise subtract it per candidate.
+        // in_cell_power_excluding_watts); otherwise subtract it per candidate.
         if (users_on[ox] == 1) continue;
         for (std::size_t a = 0; a < a_skip; ++a) {
           acc[a] += row[cols[a]] - gain_[a] * p;
@@ -113,7 +113,7 @@ std::span<const double> BatchEvaluator::benefits_batched(
     double* const row_out = out_.data() + a * channels;
     if (current.allocated() && current.server == server) {
       for (std::size_t x = 0; x < channels; ++x) {
-        // in_cell_power_excluding(), inlined with the same special cases.
+        // in_cell_power_excluding_watts(), inlined with the same special cases.
         const double excl =
             current.channel == x
                 ? (users_on[base + x] == 1

@@ -22,8 +22,8 @@
 // their association order are IDENTICAL to the scalar
 // InterferenceField::sinr()/benefit() calls — term accumulation follows the
 // same ascending-server order, the own-contribution and emptied-channel
-// special cases reproduce in_cell_power_excluding()/
-// cross_cell_interference() exactly — so results are bit-identical, not
+// special cases reproduce in_cell_power_excluding_watts()/
+// cross_cell_interference_watts() exactly — so results are bit-identical, not
 // merely close. The game's move sequences therefore cannot diverge between
 // the batched and scalar paths (tests/test_batch_eval.cpp pins this).
 //
@@ -146,7 +146,7 @@ inline std::span<const double> BatchEvaluator::single_server(
   double* const out = out_.data();
   // Branch-free main sweep (all channels priced as off-slot); when the
   // user sits on this server their own channel is then re-priced with the
-  // in_cell_power_excluding() special cases. Overwriting the one slot
+  // in_cell_power_excluding_watts() special cases. Overwriting the one slot
   // keeps every final value's expression tree identical to the scalar
   // call — the cross sum is empty (o == server is skipped), so adding it
   // is exact. The X == 3 case (the paper's channel count) is unrolled to
@@ -207,7 +207,7 @@ inline std::span<const double> BatchEvaluator::pair_servers(std::size_t user,
         cross_raw = users_on[ox] == 1 ? 0.0 : cross_raw - g * p;
       }
       const double cross = std::max(cross_raw, 0.0);
-      // in_cell_power_excluding(), inlined with the same special cases.
+      // in_cell_power_excluding_watts(), inlined with the same special cases.
       double excl = power_sum[cx];
       if (on_cand && current.channel == x) {
         excl = users_on[cx] == 1 ? 0.0 : std::max(power_sum[cx] - p, 0.0);

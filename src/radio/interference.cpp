@@ -106,7 +106,7 @@ void InterferenceField::clear() {
                          ++version_};
 }
 
-double InterferenceField::in_cell_power_excluding(std::size_t user,
+double InterferenceField::in_cell_power_excluding_watts(std::size_t user,
                                                   ChannelSlot slot) const {
   if (allocation_[user] == slot) {
     // Alone on the channel: exactly zero. Subtracting the user's own power
@@ -118,7 +118,7 @@ double InterferenceField::in_cell_power_excluding(std::size_t user,
   return power_sum_[chan_index(slot)];
 }
 
-double InterferenceField::cross_cell_interference(std::size_t user,
+double InterferenceField::cross_cell_interference_watts(std::size_t user,
                                                   ChannelSlot slot) const {
   const ChannelSlot current = allocation_[user];
   double total = 0.0;
@@ -128,7 +128,7 @@ double InterferenceField::cross_cell_interference(std::size_t user,
         o * env_->channels_per_server + slot.channel;
     // Exclude the user's own current transmission if it lands in this sum;
     // when the user is alone there, the row contributes exactly zero (see
-    // in_cell_power_excluding for the residue rationale).
+    // in_cell_power_excluding_watts for the residue rationale).
     if (current.allocated() && current.server == o &&
         current.channel == slot.channel) {
       if (users_on_[ox] == 1) continue;
@@ -146,14 +146,14 @@ double InterferenceField::sinr(std::size_t user, ChannelSlot slot) const {
   IDDE_EXPECTS(slot.allocated());
   const double g = env_->gain_at(slot.server, user);
   const double signal = g * env_->power[user];
-  const double in_cell = g * in_cell_power_excluding(user, slot);
-  const double cross = cross_cell_interference(user, slot);
+  const double in_cell = g * in_cell_power_excluding_watts(user, slot);
+  const double cross = cross_cell_interference_watts(user, slot);
   return signal / (in_cell + cross + env_->noise_watts);
 }
 
-double InterferenceField::rate(std::size_t user, ChannelSlot slot) const {
+double InterferenceField::rate_mbps(std::size_t user, ChannelSlot slot) const {
   const double r = sinr(user, slot);
-  return env_->bandwidth_at(slot.server, slot.channel) * std::log2(1.0 + r);
+  return env_->bandwidth_mbps_at(slot.server, slot.channel) * std::log2(1.0 + r);
 }
 
 double InterferenceField::benefit(std::size_t user, ChannelSlot slot) const {
@@ -165,8 +165,8 @@ double InterferenceField::benefit(std::size_t user, ChannelSlot slot) const {
   // Eq. (12): the channel power sum includes u_j itself and there is no
   // noise term, so the benefit is bounded and comparisons never divide by
   // zero (the user's own power keeps the denominator positive).
-  const double in_cell = g * (in_cell_power_excluding(user, slot) + p);
-  const double cross = cross_cell_interference(user, slot);
+  const double in_cell = g * (in_cell_power_excluding_watts(user, slot) + p);
+  const double cross = cross_cell_interference_watts(user, slot);
   return signal / (in_cell + cross);
 }
 

@@ -47,7 +47,7 @@ struct RadioEnvironment {
   [[nodiscard]] double gain_at(std::size_t server, std::size_t user) const {
     return gain[server * user_count + user];
   }
-  [[nodiscard]] double bandwidth_at(std::size_t server,
+  [[nodiscard]] double bandwidth_mbps_at(std::size_t server,
                                     std::size_t channel) const {
     return bandwidth[server * channels_per_server + channel];
   }
@@ -84,7 +84,7 @@ struct MoveDelta {
 /// Thread-compatibility contract (relied on by core::IddeUGame's parallel
 /// dirty-set refresh and stress-tested under TSan): the field is
 /// *thread-compatible*, not thread-safe. Concurrent calls to the const
-/// evaluation API (sinr/rate/benefit/slot_of/channel_power/version/
+/// evaluation API (sinr/rate_mbps/benefit/slot_of/channel_power_watts/version/
 /// slot_version/last_move) are race-free because they only read; any
 /// mutation (add_user/remove_user/move_user/clear) requires exclusive
 /// access externally — there is deliberately no internal lock, because the
@@ -116,13 +116,13 @@ class InterferenceField {
   [[nodiscard]] double sinr(std::size_t user, ChannelSlot slot) const;
 
   /// Shannon rate (Eq. 3) at the hypothetical slot; MB/s, uncapped.
-  [[nodiscard]] double rate(std::size_t user, ChannelSlot slot) const;
+  [[nodiscard]] double rate_mbps(std::size_t user, ChannelSlot slot) const;
 
   /// Game benefit (Eq. 12) at the hypothetical slot.
   [[nodiscard]] double benefit(std::size_t user, ChannelSlot slot) const;
 
   /// Total received power on (i,x) (sum of p_t of users allocated there).
-  [[nodiscard]] double channel_power(std::size_t server,
+  [[nodiscard]] double channel_power_watts(std::size_t server,
                                      std::size_t channel) const {
     return power_sum_[server * env_->channels_per_server + channel];
   }
@@ -155,11 +155,11 @@ class InterferenceField {
   friend class BatchEvaluator;
 
   /// F_{i,x,j} with user j's own contribution excluded.
-  [[nodiscard]] double cross_cell_interference(std::size_t user,
+  [[nodiscard]] double cross_cell_interference_watts(std::size_t user,
                                                ChannelSlot slot) const;
   /// In-cell interference power at `slot` excluding user j: the
   /// g_{i,j} * sum_{t in U_{i,x} \ j} p_t term of Eq. 2.
-  [[nodiscard]] double in_cell_power_excluding(std::size_t user,
+  [[nodiscard]] double in_cell_power_excluding_watts(std::size_t user,
                                                ChannelSlot slot) const;
 
   [[nodiscard]] std::size_t chan_index(ChannelSlot slot) const {

@@ -6,6 +6,8 @@
 // robust to it.
 #pragma once
 
+#include <cmath>
+
 #include "radio/pathloss.hpp"
 #include "util/random.hpp"
 

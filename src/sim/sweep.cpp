@@ -2,7 +2,6 @@
 
 #include "obs/obs.hpp"
 #include "util/assert.hpp"
-#include "util/mutex.hpp"
 
 namespace idde::sim {
 
@@ -27,9 +26,11 @@ std::vector<PointResult> run_sweep(
     const auto reps = static_cast<std::size_t>(options.repetitions);
     const bool faults_active =
         options.fault_profile != nullptr && !options.fault_profile->inert();
-    std::vector<util::RunningStats> rate(a_count), latency(a_count),
-        time(a_count), degraded(a_count), availability(a_count);
-    util::Mutex stats_mutex;
+    // Each repetition stages its samples into a disjoint slot; the fold
+    // into RunningStats happens serially after the join, in rep order, so
+    // the accumulated floats are bit-identical for any thread count.
+    std::vector<std::vector<RunRecord>> rep_records(reps);
+    std::vector<std::vector<fault::ResilienceReport>> rep_reports(reps);
 
     util::parallel_for(pool, reps, [&](std::size_t rep) {
       // Instance seed depends only on (point, repetition): all approaches
@@ -63,17 +64,23 @@ std::vector<PointResult> run_sweep(
         reports[a] = fault::evaluate_resilience(instance, *strategy, plan,
                                                 options.repair_policy);
       }
-      const util::MutexLock lock(stats_mutex);
+      rep_records[rep] = std::move(records);
+      rep_reports[rep] = std::move(reports);
+    });
+
+    std::vector<util::RunningStats> rate(a_count), latency(a_count),
+        time(a_count), degraded(a_count), availability(a_count);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
       for (std::size_t a = 0; a < a_count; ++a) {
-        rate[a].add(records[a].metrics.avg_rate_mbps);
-        latency[a].add(records[a].metrics.avg_latency_ms);
-        time[a].add(records[a].solve_ms);
+        rate[a].add(rep_records[rep][a].metrics.avg_rate_mbps);
+        latency[a].add(rep_records[rep][a].metrics.avg_latency_ms);
+        time[a].add(rep_records[rep][a].solve_ms);
         if (faults_active) {
-          degraded[a].add(reports[a].degraded_latency_ms);
-          availability[a].add(reports[a].availability);
+          degraded[a].add(rep_reports[rep][a].degraded_latency_ms);
+          availability[a].add(rep_reports[rep][a].availability);
         }
       }
-    });
+    }
 
     PointResult point_result;
     point_result.label = point.label;

@@ -32,13 +32,13 @@ AllocationProfile optimal_allocation(const model::ProblemInstance& instance) {
 
   AllocationProfile current(m, core::kUnallocated);
   AllocationProfile best = current;
-  double best_rate = core::average_data_rate(instance, best);
+  double best_rate = core::average_data_rate_mbps(instance, best);
 
   // Odometer enumeration.
   std::vector<std::size_t> cursor(m, 0);
   for (;;) {
     for (std::size_t j = 0; j < m; ++j) current[j] = candidates[j][cursor[j]];
-    const double rate = core::average_data_rate(instance, current);
+    const double rate = core::average_data_rate_mbps(instance, current);
     if (rate > best_rate) {
       best_rate = rate;
       best = current;

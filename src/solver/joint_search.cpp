@@ -51,7 +51,7 @@ JointSearchResult joint_search(const model::ProblemInstance& instance,
   std::size_t probes = 0;
   do {
     AllocationProfile candidate = construct_allocation(instance, rng);
-    const double rate = core::average_data_rate(instance, candidate);
+    const double rate = core::average_data_rate_mbps(instance, candidate);
     ++probes;
     if (rate > best_rate) {
       best_rate = rate;

@@ -12,9 +12,12 @@
 // never on a per-evaluation hot path.
 //
 // Lock hierarchy (IDDE_ACQUIRED_BEFORE edges are declared where two
-// capabilities can be held at once): the codebase currently has no nested
-// locking — each capability is a leaf. Keep it that way; if nesting ever
-// becomes necessary, declare the order here and annotate it.
+// capabilities can be held at once): almost every capability is a leaf.
+// The one declared edge is obs::Tracer's rollup_mutex_ -> mutex_ (the
+// rollup update in record() pins the buffer registry against reset()).
+// tools/analyze/idde_analyze.py reconstructs the acquisition graph from
+// MutexLock sites and fails on any nested acquisition without a declared
+// edge — declare new edges on the mutex member, as Tracer does.
 #pragma once
 
 #include <condition_variable>

@@ -60,7 +60,7 @@ std::string render_map(const model::ProblemInstance& instance,
       for (std::size_t cx = 0; cx < w; ++cx) {
         const geo::Point center = cell_center(cx, cy);
         for (const auto& s : instance.servers()) {
-          if (geo::distance(center, s.position) <= s.coverage_radius_m) {
+          if (geo::distance_m(center, s.position) <= s.coverage_radius_m) {
             grid[(h - 1 - cy) * w + cx] = '.';
             break;
           }

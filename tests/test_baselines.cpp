@@ -40,11 +40,11 @@ TEST(NearestAllocation, PicksGeometricallyNearestServer) {
       EXPECT_TRUE(inst.covering_servers(j).empty());
       continue;
     }
-    const double chosen = geo::distance(
+    const double chosen = geo::distance_m(
         inst.server(profile[j].server).position, inst.user(j).position);
     for (const std::size_t i : inst.covering_servers(j)) {
       EXPECT_LE(chosen,
-                geo::distance(inst.server(i).position, inst.user(j).position) +
+                geo::distance_m(inst.server(i).position, inst.user(j).position) +
                     1e-9);
     }
   }

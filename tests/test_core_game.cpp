@@ -138,7 +138,7 @@ TEST(IddeUGame, AllRulesReachComparableRates) {
     options.rule = rule;
     const GameResult result = IddeUGame(inst, options).run();
     EXPECT_TRUE(result.converged);
-    rates[idx++] = core::average_data_rate(inst, result.allocation);
+    rates[idx++] = core::average_data_rate_mbps(inst, result.allocation);
   }
   // Equilibria may differ but should be within ~25% of each other.
   const double lo = *std::min_element(rates, rates + 3);
@@ -170,7 +170,7 @@ TEST(Metrics, UnallocatedUsersHaveZeroRate) {
   const AllocationProfile none(inst.user_count(), core::kUnallocated);
   const auto rates = core::user_rates(inst, none);
   for (const double r : rates) EXPECT_EQ(r, 0.0);
-  EXPECT_EQ(core::average_data_rate(inst, none), 0.0);
+  EXPECT_EQ(core::average_data_rate_mbps(inst, none), 0.0);
 }
 
 TEST(Metrics, RatesRespectShannonCap) {
@@ -202,8 +202,8 @@ TEST(Metrics, MoreUsersLowerAverageRate) {
     const ProblemInstance a = model::make_instance(small, 20 + seed);
     const ProblemInstance b = model::make_instance(big, 20 + seed);
     rate_small +=
-        core::average_data_rate(a, IddeUGame(a).run().allocation);
-    rate_big += core::average_data_rate(b, IddeUGame(b).run().allocation);
+        core::average_data_rate_mbps(a, IddeUGame(a).run().allocation);
+    rate_big += core::average_data_rate_mbps(b, IddeUGame(b).run().allocation);
   }
   EXPECT_GT(rate_small, rate_big);
 }
@@ -214,7 +214,7 @@ TEST(Potential, InterferenceBoundNonNegative) {
       model::make_instance(tiny_params(40, 60, 3), 15);
   bool any_positive = false;
   for (std::size_t j = 0; j < inst.user_count(); ++j) {
-    const double bound = core::interference_bound(inst, j);
+    const double bound = core::interference_bound_watts(inst, j);
     EXPECT_GE(bound, 0.0);
     // T_j is strictly positive exactly when the user has more than one
     // candidate gain (best channel has headroom above the worst one).

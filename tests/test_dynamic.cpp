@@ -52,7 +52,7 @@ TEST(RandomWaypoint, SpeedBoundsRespected) {
   for (int step = 0; step < 50; ++step) {
     const geo::Point before = model.positions()[0];
     model.step(1.0, rng);
-    const double moved = geo::distance(before, model.positions()[0]);
+    const double moved = geo::distance_m(before, model.positions()[0]);
     // Up to max speed, possibly less when turning at a waypoint.
     EXPECT_LE(moved, 2.0 + 1e-9);
   }
@@ -95,7 +95,7 @@ TEST(World, SnapshotPreservesStaticsAndUpdatesRadio) {
   for (std::size_t i = 0; i < snap.server_count(); ++i) {
     for (std::size_t j = 0; j < snap.user_count(); ++j) {
       const double expected = pathloss.gain(
-          geo::distance(snap.server(i).position, positions[j]));
+          geo::distance_m(snap.server(i).position, positions[j]));
       EXPECT_DOUBLE_EQ(snap.radio_env().gain_at(i, j), expected);
     }
   }

@@ -16,9 +16,9 @@ using namespace idde::geo;
 using idde::util::Rng;
 
 TEST(Point, Distances) {
-  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
-  EXPECT_DOUBLE_EQ(squared_distance({1, 1}, {1, 1}), 0.0);
-  EXPECT_DOUBLE_EQ(distance({-1, -1}, {-4, 3}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_m({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(squared_distance_m2({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(distance_m({-1, -1}, {-4, 3}), 5.0);
 }
 
 TEST(BoundingBox, ContainsAndClamp) {
@@ -45,7 +45,7 @@ class SpatialGridTest : public ::testing::Test {
                                               double r) const {
     std::vector<std::size_t> out;
     for (std::size_t i = 0; i < points_.size(); ++i) {
-      if (distance(points_[i], c) <= r) out.push_back(i);
+      if (distance_m(points_[i], c) <= r) out.push_back(i);
     }
     return out;
   }
@@ -68,7 +68,7 @@ TEST_F(SpatialGridTest, ZeroRadiusFindsOnlyCoincidentPoints) {
   const auto result = grid_->query_radius(points_[5], 0.0);
   EXPECT_FALSE(result.empty());
   for (const std::size_t i : result) {
-    EXPECT_DOUBLE_EQ(distance(points_[i], points_[5]), 0.0);
+    EXPECT_DOUBLE_EQ(distance_m(points_[i], points_[5]), 0.0);
   }
 }
 
@@ -80,7 +80,7 @@ TEST_F(SpatialGridTest, NearestMatchesBruteForce) {
     double best = 1e18;
     std::size_t expected = SpatialGrid::npos;
     for (std::size_t i = 0; i < points_.size(); ++i) {
-      const double d = squared_distance(points_[i], c);
+      const double d = squared_distance_m2(points_[i], c);
       if (d < best) {
         best = d;
         expected = i;
@@ -88,7 +88,7 @@ TEST_F(SpatialGridTest, NearestMatchesBruteForce) {
     }
     ASSERT_NE(found, SpatialGrid::npos);
     // Ties are acceptable: require equal distance rather than equal index.
-    EXPECT_DOUBLE_EQ(squared_distance(points_[found], c), best)
+    EXPECT_DOUBLE_EQ(squared_distance_m2(points_[found], c), best)
         << "found " << found << " expected " << expected;
   }
 }
@@ -155,7 +155,7 @@ TEST(Generators, ThomasClustersAroundCenters) {
   EXPECT_EQ(pts.size(), 400u);
   // Every point should be near one of the two centres (5 sigma).
   for (const Point& p : pts) {
-    const double d = std::min(distance(p, centers[0]), distance(p, centers[1]));
+    const double d = std::min(distance_m(p, centers[0]), distance_m(p, centers[1]));
     EXPECT_LT(d, 100.0);
   }
 }
@@ -227,7 +227,7 @@ TEST(Eua, SubsampleCoveredPrefersCoveredUsers) {
   std::size_t covered = 0;
   for (const Point& u : sub.user_positions) {
     for (std::size_t s = 0; s < sub.server_positions.size(); ++s) {
-      if (distance(u, sub.server_positions[s]) <= sub.coverage_radii_m[s]) {
+      if (distance_m(u, sub.server_positions[s]) <= sub.coverage_radii_m[s]) {
         ++covered;
         break;
       }
@@ -251,7 +251,7 @@ TEST_P(EuaCoverageTest, CoverageMultiplicityInRange) {
   double total = 0.0;
   for (const Point& u : sub.user_positions) {
     for (std::size_t s = 0; s < sub.server_positions.size(); ++s) {
-      if (distance(u, sub.server_positions[s]) <= sub.coverage_radii_m[s]) {
+      if (distance_m(u, sub.server_positions[s]) <= sub.coverage_radii_m[s]) {
         total += 1.0;
       }
     }

@@ -133,7 +133,7 @@ TEST(InstanceBuilder, CoverageSetsSortedAndGeometricallyCorrect) {
     // Exactness both ways against brute force.
     for (std::size_t i = 0; i < inst.server_count(); ++i) {
       const bool geometric =
-          geo::distance(inst.server(i).position, inst.user(j).position) <=
+          geo::distance_m(inst.server(i).position, inst.user(j).position) <=
           inst.server(i).coverage_radius_m;
       const bool listed =
           std::binary_search(covering.begin(), covering.end(), i);

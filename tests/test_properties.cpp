@@ -214,9 +214,9 @@ TEST(EdgeCases, ManyChannelsEliminateInCellInterference) {
   for (std::uint64_t seed = 0; seed < 3; ++seed) {
     const auto a = model::make_instance(few, 40 + seed);
     const auto b = model::make_instance(many, 40 + seed);
-    rate_few += core::average_data_rate(a, core::IddeUGame(a).run().allocation);
+    rate_few += core::average_data_rate_mbps(a, core::IddeUGame(a).run().allocation);
     rate_many +=
-        core::average_data_rate(b, core::IddeUGame(b).run().allocation);
+        core::average_data_rate_mbps(b, core::IddeUGame(b).run().allocation);
   }
   EXPECT_GT(rate_many, rate_few);
 }

@@ -207,7 +207,7 @@ TEST(InterferenceField, ClearResetsEverything) {
   field.clear();
   for (std::size_t i = 0; i < env.server_count; ++i) {
     for (std::size_t x = 0; x < env.channels_per_server; ++x) {
-      EXPECT_DOUBLE_EQ(field.channel_power(i, x), 0.0);
+      EXPECT_DOUBLE_EQ(field.channel_power_watts(i, x), 0.0);
     }
   }
   for (std::size_t j = 0; j < env.user_count; ++j) {
@@ -222,9 +222,9 @@ TEST(InterferenceField, ChannelPowerTracksMembers) {
   field.add_user(0, {0, 0});
   field.add_user(1, {0, 0});
   field.add_user(2, {0, 1});
-  EXPECT_NEAR(field.channel_power(0, 0), env.power[0] + env.power[1], 1e-12);
-  EXPECT_NEAR(field.channel_power(0, 1), env.power[2], 1e-12);
-  EXPECT_DOUBLE_EQ(field.channel_power(1, 0), 0.0);
+  EXPECT_NEAR(field.channel_power_watts(0, 0), env.power[0] + env.power[1], 1e-12);
+  EXPECT_NEAR(field.channel_power_watts(0, 1), env.power[2], 1e-12);
+  EXPECT_DOUBLE_EQ(field.channel_power_watts(1, 0), 0.0);
 }
 
 TEST(InterferenceField, HypotheticalEvaluationExcludesSelf) {
@@ -248,7 +248,7 @@ TEST(InterferenceField, RateIsShannon) {
   field.add_user(1, {0, 0});
   const ChannelSlot slot{0, 0};
   const double r = field.sinr(0, slot);
-  EXPECT_NEAR(field.rate(0, slot), 200.0 * std::log2(1.0 + r), 1e-9);
+  EXPECT_NEAR(field.rate_mbps(0, slot), 200.0 * std::log2(1.0 + r), 1e-9);
 }
 
 TEST(InterferenceField, BenefitMatchesEq12Shape) {

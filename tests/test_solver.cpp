@@ -30,10 +30,10 @@ InstanceParams micro_params(std::size_t n = 3, std::size_t m = 5,
 TEST(ExhaustiveAllocation, BeatsOrMatchesEveryOtherProfileTried) {
   const ProblemInstance inst = model::make_instance(micro_params(), 1);
   const AllocationProfile best = solver::optimal_allocation(inst);
-  const double best_rate = core::average_data_rate(inst, best);
+  const double best_rate = core::average_data_rate_mbps(inst, best);
   // Compare against the game equilibrium and random profiles.
   const auto game = core::IddeUGame(inst).run();
-  EXPECT_GE(best_rate + 1e-9, core::average_data_rate(inst, game.allocation));
+  EXPECT_GE(best_rate + 1e-9, core::average_data_rate_mbps(inst, game.allocation));
   util::Rng rng(2);
   for (int trial = 0; trial < 30; ++trial) {
     AllocationProfile random(inst.user_count(), core::kUnallocated);
@@ -44,7 +44,7 @@ TEST(ExhaustiveAllocation, BeatsOrMatchesEveryOtherProfileTried) {
           cov[rng.index(cov.size())],
           rng.index(inst.radio_env().channels_per_server)};
     }
-    EXPECT_GE(best_rate + 1e-9, core::average_data_rate(inst, random));
+    EXPECT_GE(best_rate + 1e-9, core::average_data_rate_mbps(inst, random));
   }
 }
 

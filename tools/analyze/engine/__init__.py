@@ -1,0 +1,25 @@
+"""idde_analyze: the project's multi-rule static-analysis engine.
+
+Replaces the former tools/lint/check_project.py grab-bag with a shared
+scanner (comment/string stripping, suppressions, baselines, parallel file
+scanning) and three rule packs layered on top of the ported legacy rules:
+
+  concurrency    lock-acquisition-graph reconstruction from util::MutexLock
+                 sites + IDDE_ACQUIRED_BEFORE/AFTER declarations; undeclared
+                 nested locking, declared-edge cycles, unjustified atomics.
+  determinism    unordered containers, pointer-keyed ordering, parallel STL
+                 numerics, float accumulation inside parallel_for bodies.
+  unit-safety    raw double/int64 function parameters/returns in public
+                 headers that carry a physical quantity must spell the unit
+                 in their name (_ms, _watts, _dbm, _hz, _bytes, ...).
+
+See DESIGN.md section 14 for the architecture and the rule catalog.
+"""
+
+__all__ = [
+    "baseline",
+    "config",
+    "findings",
+    "runner",
+    "source",
+]

@@ -1,0 +1,93 @@
+"""Suppression baseline: committed, justified exemptions for repo-wide rules.
+
+The baseline is the escape hatch for findings that are understood and
+accepted (a third-party idiom, a measured exception) without weakening the
+rule for new code. Contract, enforced here:
+
+  - every entry carries a one-line non-empty `reason`;
+  - entries match findings by (rule, file, key) — never by line number, so
+    unrelated edits cannot silently detach an entry;
+  - a stale entry (matching no current finding) FAILS the run: baselines
+    only shrink deliberately, and a fixed finding must take its entry with
+    it.
+
+Format (tools/analyze/baseline.json):
+  {"entries": [{"rule": "...", "file": "...", "key": "...",
+                "reason": "one line"}]}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .findings import Finding
+
+REQUIRED_FIELDS = ("rule", "file", "key", "reason")
+
+
+class BaselineError(ValueError):
+    """Malformed baseline file — a usage error, not a finding."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    file: str
+    key: str
+    reason: str
+
+    @property
+    def ident(self) -> tuple[str, str, str]:
+        return (self.rule, self.file, self.key)
+
+
+def load_baseline(path: Path) -> list[BaselineEntry]:
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as err:
+        raise BaselineError(f"{path}: not valid JSON: {err}") from err
+    if not isinstance(data, dict) or not isinstance(data.get("entries"), list):
+        raise BaselineError(f'{path}: expected {{"entries": [...]}}')
+    entries: list[BaselineEntry] = []
+    seen: set[tuple[str, str, str]] = set()
+    for i, item in enumerate(data["entries"]):
+        if not isinstance(item, dict):
+            raise BaselineError(f"{path}: entries[{i}] is not an object")
+        missing = [f for f in REQUIRED_FIELDS
+                   if not isinstance(item.get(f), str) or not item[f].strip()]
+        if missing:
+            raise BaselineError(
+                f"{path}: entries[{i}] missing or empty field(s): "
+                f"{', '.join(missing)} (every entry needs a one-line reason)")
+        unknown = set(item) - set(REQUIRED_FIELDS)
+        if unknown:
+            raise BaselineError(
+                f"{path}: entries[{i}] has unknown field(s): "
+                f"{sorted(unknown)}")
+        entry = BaselineEntry(item["rule"], item["file"], item["key"],
+                              item["reason"].strip())
+        if entry.ident in seen:
+            raise BaselineError(
+                f"{path}: duplicate entry for {entry.ident}")
+        seen.add(entry.ident)
+        entries.append(entry)
+    return entries
+
+
+def apply_baseline(
+    findings: list[Finding], entries: list[BaselineEntry],
+) -> tuple[list[Finding], int, list[BaselineEntry]]:
+    """Splits findings into (surviving, baselined_count, stale_entries)."""
+    by_ident = {entry.ident: entry for entry in entries}
+    used: set[tuple[str, str, str]] = set()
+    surviving: list[Finding] = []
+    for finding in findings:
+        ident = (finding.rule, finding.file, finding.key)
+        if ident in by_ident:
+            used.add(ident)
+        else:
+            surviving.append(finding)
+    stale = [entry for entry in entries if entry.ident not in used]
+    return surviving, len(findings) - len(surviving), stale

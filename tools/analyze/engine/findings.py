@@ -1,0 +1,46 @@
+"""Finding and FileReport: what rules produce and workers return."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation.
+
+    `key` is the stable fingerprint used for baseline matching and
+    deduplication: it must survive unrelated edits to the file (so it never
+    embeds a line number). `line` is informational only.
+    """
+
+    file: str
+    line: int
+    rule: str
+    key: str
+    message: str
+
+    def as_json(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "file": self.file,
+            "line": self.line,
+            "key": self.key,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileReport:
+    """Per-file scan result: local findings plus facts for global passes.
+
+    `facts` is a rule-namespaced dict (e.g. facts["lock_edges"]) consumed by
+    rules that need the whole project — the lock-order graph is assembled
+    from every file's declarations before nesting can be judged.
+    """
+
+    rel: str
+    findings: list[Finding] = field(default_factory=list)
+    facts: dict[str, Any] = field(default_factory=dict)
+    suppressed: int = 0

@@ -1,0 +1,194 @@
+"""Concurrency pack: lock-order reconstruction and atomic justification.
+
+The lock-acquisition graph is rebuilt from two textual sources:
+
+  declarations   `util::Mutex a IDDE_ACQUIRED_BEFORE(b);` (or the
+                 symmetric IDDE_ACQUIRED_AFTER) on mutex members — each
+                 declares a directed must-acquire-first edge a -> b;
+  acquisitions   `util::MutexLock lock(expr);` sites, tracked through a
+                 brace-depth scope walk: a MutexLock constructed while an
+                 earlier one in the same function is still in scope is a
+                 nested acquisition of (outer, inner).
+
+Rules:
+  lock-order   every observed nested acquisition (outer, inner) must be
+               covered by a declared edge outer -> inner. Undeclared
+               nesting is exactly the hazard the ROADMAP gates sharded/
+               nested locking work behind: two call paths that nest the
+               same capabilities in opposite orders deadlock only under
+               load, never in review.
+  lock-cycle   the declared edge graph must be acyclic — a cycle means the
+               declared order itself permits a deadlock.
+  atomic-order std::atomic members/locals outside src/util//src/obs/ must
+               carry a `memory-order: ...` justification comment (on the
+               line or up to 3 lines above) saying why the chosen ordering
+               is sufficient. Relaxed tallies are fine — silently relaxed
+               synchronisation is not.
+
+Mutex identity is the trailing identifier of the acquisition expression
+(`buffer->mutex` -> `mutex`, `stats_mutex` -> `stats_mutex`): a textual
+heuristic, deliberately — same-named members of different classes share a
+node, so the graph is conservative about cycles at the cost of occasionally
+needing an `// lint: allow(lock-order)` on a genuinely independent pair.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..config import Config
+from ..findings import Finding
+from ..source import SourceFile
+
+RULES = {
+    "lock-order": (
+        "nested lock acquisition with no declared IDDE_ACQUIRED_BEFORE "
+        "edge; declare the order on the mutex member or restructure to "
+        "avoid holding both"),
+    "lock-cycle": (
+        "declared IDDE_ACQUIRED_BEFORE/AFTER edges form a cycle — the "
+        "declared lock order permits deadlock"),
+    "atomic-order": (
+        "std::atomic outside src/util//src/obs/ without a "
+        "`memory-order: ...` justification comment"),
+}
+
+# `util::Mutex name ... IDDE_ACQUIRED_BEFORE(args);` — [^;{}] keeps the
+# match inside one member declaration.
+EDGE_DECL = re.compile(
+    r"\bMutex\s+(?P<name>\w+)\b[^;{}]*?"
+    r"IDDE_ACQUIRED_(?P<dir>BEFORE|AFTER)\s*\((?P<args>[^)]*)\)")
+LOCK_SITE = re.compile(r"\bMutexLock\s+\w+\s*[({]\s*(?P<expr>[^(){};]+?)\s*[)}]")
+ATOMIC = re.compile(r"\bstd::atomic\s*<[^;]*?>\s*(?P<name>\w+)?")
+TRAILING_IDENT = re.compile(r"(\w+)\s*$")
+
+
+def mutex_name(expr: str) -> str:
+    """Normalises an acquisition expression to its trailing identifier."""
+    match = TRAILING_IDENT.search(expr.strip())
+    return match.group(1) if match else expr.strip()
+
+
+def scan(sf: SourceFile, cfg: Config):
+    findings: list[Finding] = []
+    suppressed = 0
+    edges: list[tuple[str, str, str, int]] = []   # (from, to, file, line)
+    nested: list[tuple[str, str, str, int]] = []  # (outer, inner, file, line)
+
+    for match in EDGE_DECL.finditer(sf.code):
+        line = sf.line_of(match.start())
+        name = match.group("name")
+        for arg in match.group("args").split(","):
+            if not arg.strip():
+                continue
+            other = mutex_name(arg)
+            if match.group("dir") == "BEFORE":
+                edges.append((name, other, sf.rel, line))
+            else:
+                edges.append((other, name, sf.rel, line))
+
+    # Scope walk: replay brace depth over the stripped text, retiring each
+    # MutexLock when the block it was declared in closes.
+    sites = sorted(
+        (m.start(), mutex_name(m.group("expr")))
+        for m in LOCK_SITE.finditer(sf.code))
+    if sites:
+        active: list[tuple[str, int]] = []  # (mutex, decl depth)
+        depth = 0
+        site_index = 0
+        for pos, ch in enumerate(sf.code):
+            while site_index < len(sites) and sites[site_index][0] == pos:
+                inner = sites[site_index][1]
+                line = sf.line_of(pos)
+                for outer, _ in active:
+                    if sf.allowed(line, "lock-order"):
+                        suppressed += 1
+                    else:
+                        nested.append((outer, inner, sf.rel, line))
+                active.append((inner, depth))
+                site_index += 1
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                while active and active[-1][1] > depth:
+                    active.pop()
+
+    atomic_ok = cfg.in_scope(sf.rel, cfg.atomic_exempt)
+    if not atomic_ok:
+        for match in ATOMIC.finditer(sf.code):
+            line = sf.line_of(match.start())
+            if sf.tag_nearby(line, "memory-order:"):
+                continue
+            if sf.allowed(line, "atomic-order"):
+                suppressed += 1
+                continue
+            name = match.group("name") or "atomic"
+            findings.append(Finding(
+                sf.rel, line, "atomic-order", f"atomic:{name}",
+                f"std::atomic `{name}` outside src/util//src/obs/ without a "
+                "`memory-order: ...` justification comment explaining why "
+                "its ordering is sufficient"))
+
+    return findings, {
+        "lock_edges": edges,
+        "lock_nested": nested,
+        "suppressed": suppressed,
+    }
+
+
+def global_scan(reports, cfg: Config) -> list[Finding]:
+    del cfg
+    findings: list[Finding] = []
+    edges: dict[tuple[str, str], tuple[str, int]] = {}
+    for report in reports:
+        for src, dst, rel, line in report.facts.get("lock_edges", ()):
+            edges.setdefault((src, dst), (rel, line))
+
+    seen_nested: set[tuple[str, str, str]] = set()
+    for report in reports:
+        for outer, inner, rel, line in report.facts.get("lock_nested", ()):
+            key = f"{outer}->{inner}"
+            if (rel, outer, inner) in seen_nested:
+                continue
+            seen_nested.add((rel, outer, inner))
+            if outer == inner:
+                findings.append(Finding(
+                    rel, line, "lock-order", key,
+                    f"`{inner}` acquired while already held on this path — "
+                    "self-deadlock (or two instances whose order is "
+                    "undeclared)"))
+            elif (outer, inner) not in edges:
+                findings.append(Finding(
+                    rel, line, "lock-order", key,
+                    f"nested acquisition of `{inner}` while holding "
+                    f"`{outer}` with no declared IDDE_ACQUIRED_BEFORE edge "
+                    f"`{outer}` -> `{inner}`"))
+
+    # Cycle check over declared edges (DFS, deterministic order).
+    graph: dict[str, list[str]] = {}
+    for src, dst in sorted(edges):
+        graph.setdefault(src, []).append(dst)
+    state: dict[str, int] = {}  # 1 = on stack, 2 = done
+    stack: list[str] = []
+
+    def visit(node: str) -> None:
+        state[node] = 1
+        stack.append(node)
+        for succ in graph.get(node, ()):
+            if state.get(succ) == 1:
+                cycle = stack[stack.index(succ):] + [succ]
+                rel, line = edges[(node, succ)]
+                findings.append(Finding(
+                    rel, line, "lock-cycle", "->".join(cycle),
+                    "declared lock-order edges form a cycle: "
+                    + " -> ".join(cycle)))
+            elif succ not in state:
+                visit(succ)
+        stack.pop()
+        state[node] = 2
+
+    for node in sorted(graph):
+        if node not in state:
+            visit(node)
+    return findings

@@ -1,0 +1,118 @@
+"""Project-contract rules ported from tools/lint/check_project.py.
+
+Same semantics and scopes as the retired script; the scanner upgrades
+(whole-file stripping, raw-string handling) apply uniformly.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..config import HEADER_SUFFIXES, Config
+from ..findings import Finding
+from ..source import SourceFile
+
+RULES = {
+    "naked-sync": (
+        "raw std synchronisation primitive outside src/util/; use "
+        "util::Mutex/MutexLock/CondVar or util::ThreadPool so "
+        "-Wthread-safety covers it"),
+    "naked-rand": (
+        "rand()/srand() breaks seeded reproducibility; use util::Rng"),
+    "naked-assert": (
+        "use IDDE_ASSERT/IDDE_EXPECTS/IDDE_ENSURES (active in Release), "
+        "not assert()"),
+    "std-using": "`using namespace std` is banned in headers",
+    "naked-sleep": (
+        "wall-clock sleep outside src/util//src/des/ breaks seeded "
+        "determinism; advance simulated time or wrap it in util/"),
+    "naked-timing": (
+        "raw clock timing outside src/util//src/obs/; use obs::ScopedSpan "
+        "so the measurement feeds the phase rollup and traces"),
+    "unbounded-queue": (
+        "raw std::deque/std::queue in src/qos//src/des/ without a "
+        "documented bound; add a `capacity-bound: ...` comment or bound it"),
+    "hot-path-alloc": (
+        "heap allocation in a hot-tagged kernel file; hoist into member "
+        "scratch or mark the cold-path site with "
+        "`// lint: alloc-ok(<reason>)`"),
+}
+
+SYNC = re.compile(
+    r"\bstd::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(_any)?|thread|jthread|lock_guard|scoped_lock|"
+    r"unique_lock|shared_lock)\b")
+RAND = re.compile(r"(?<![\w:])s?rand\s*\(")
+ASSERT = re.compile(r"(?<![\w:.])assert\s*\(")
+USING_STD = re.compile(r"\busing\s+namespace\s+std\b")
+SLEEP = re.compile(r"\bstd::this_thread::sleep_(for|until)\b")
+TIMING = re.compile(
+    r"\b(steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\(")
+# std::priority_queue (the DES event heap, bounded by the arrival schedule)
+# is deliberately not matched.
+QUEUE = re.compile(r"\bstd::(deque|queue)\s*<")
+NEW_EXPR = re.compile(r"(?<![\w:.])new\b")
+MAKE_PTR = re.compile(r"\bmake_(unique|shared)\b")
+PUSH_BACK = re.compile(
+    r"(?P<recv>[A-Za-z_]\w*(?:\.\w+|->\w+|\[\w*\])*)\s*\.\s*"
+    r"(?:push_back|emplace_back)\s*\(")
+ALLOC_OK = re.compile(r"//\s*lint:\s*alloc-ok\([^)]+\)")
+
+
+def scan(sf: SourceFile, cfg: Config):
+    findings: list[Finding] = []
+    suppressed = 0
+    is_header = sf.rel.endswith(HEADER_SUFFIXES)
+    sync_ok = cfg.in_scope(sf.rel, cfg.sync_exempt)
+    sleep_ok = cfg.in_scope(sf.rel, cfg.sleep_exempt)
+    timing_ok = cfg.in_scope(sf.rel, cfg.timing_exempt)
+    queue_scoped = cfg.in_scope(sf.rel, cfg.queue_scoped)
+    hot = sf.rel in cfg.hot_path_files
+
+    for lineno, code in enumerate(sf.code_lines, 1):
+        raw = sf.raw_lines[lineno - 1]
+
+        def report(rule: str, key: str, message: str | None = None) -> None:
+            nonlocal suppressed
+            if sf.allowed(lineno, rule):
+                suppressed += 1
+                return
+            findings.append(Finding(sf.rel, lineno, rule, key,
+                                    message or RULES[rule]))
+
+        if not sync_ok:
+            for match in SYNC.finditer(code):
+                report("naked-sync", f"std::{match.group(1)}")
+        if RAND.search(code):
+            report("naked-rand", "rand")
+        if ASSERT.search(code) and "static_assert" not in code:
+            report("naked-assert", "assert")
+        if is_header and USING_STD.search(code):
+            report("std-using", "using-namespace-std")
+        if not sleep_ok and SLEEP.search(code):
+            report("naked-sleep", "sleep")
+        if not timing_ok:
+            for match in TIMING.finditer(code):
+                report("naked-timing", match.group(1))
+        if queue_scoped and QUEUE.search(code):
+            # A `capacity-bound: ...` note on the line or within the three
+            # lines above documents how growth is limited.
+            if not sf.tag_nearby(lineno, "capacity-bound:"):
+                report("unbounded-queue", f"std::{QUEUE.search(code).group(1)}")
+        if hot and not ALLOC_OK.search(raw):
+            if NEW_EXPR.search(code) or MAKE_PTR.search(code):
+                report("hot-path-alloc", "alloc")
+            for match in PUSH_BACK.finditer(code):
+                # Reserved containers (any `<receiver>.reserve(` in the
+                # file) amortise to zero per-move allocations; everything
+                # else must justify itself.
+                recv = match.group("recv")
+                if re.search(re.escape(recv) + r"\s*\.\s*reserve\s*\(",
+                             sf.code):
+                    continue
+                report(
+                    "hot-path-alloc", f"push_back:{recv}",
+                    f"push_back on `{recv}` with no `.reserve(` in this "
+                    "hot-tagged kernel file; reserve the container or mark "
+                    "the site with `// lint: alloc-ok(<reason>)`")
+    return findings, {"suppressed": suppressed}

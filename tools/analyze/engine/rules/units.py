@@ -1,0 +1,124 @@
+"""Unit-safety pack: physical quantities must spell their unit.
+
+Eq. 3-8 plumbing moves dBm, watts, Mbps, MB, and milliseconds through raw
+`double`s. The type system cannot tell them apart, so the API contract is
+carried by names: a public-header function parameter or double-returning
+function whose name says it is a physical quantity (power, latency,
+bandwidth, ...) must also say its unit (`_watts`, `_ms`, `_mbps`, ...).
+A quantity word with a dimensionless marker (`_scale`, `_ratio`, `_prob`,
+...) is a pure number and exempt.
+
+Scope: headers under src/ (the public API surface); declarations only —
+locals inside inline bodies are matched neither by the parameter pass
+(parameter lists are identified by their enclosing parens) nor by the
+return pass (paren-depth 0 requirement).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..config import HEADER_SUFFIXES, Config
+from ..findings import Finding
+from ..source import SourceFile
+
+RULES = {
+    "unit-suffix": (
+        "raw double/int64 carrying a physical quantity in a public header "
+        "must spell its unit in the name (_ms, _watts, _dbm, _hz, _bytes, "
+        "_mbps, _m, ...)"),
+}
+
+NUMERIC_TYPES = r"(?:double|float|std::int64_t|std::uint64_t|int64_t)"
+PARAM = re.compile(
+    r"\b" + NUMERIC_TYPES + r"\s+(?P<name>[a-z]\w*)\s*(?=[,)=])")
+RETURN_FN = re.compile(
+    r"\b" + NUMERIC_TYPES + r"\s+(?P<name>[a-z]\w*)\s*\(")
+
+
+def classify(name: str, cfg: Config) -> str | None:
+    """Returns the offending quantity token, or None when the name passes."""
+    tokens = name.lower().split("_")
+    if any(token in cfg.unit_tokens for token in tokens):
+        return None
+    if any(token in cfg.dimensionless_tokens for token in tokens):
+        return None
+    for token in tokens:
+        if token in cfg.quantity_tokens:
+            return token
+    return None
+
+
+def paren_intervals(code: str) -> list[tuple[int, int]]:
+    """(open, close) offsets of every parenthesised span, innermost-first
+    resolvable by containment."""
+    stack: list[int] = []
+    spans: list[tuple[int, int]] = []
+    for pos, ch in enumerate(code):
+        if ch == "(":
+            stack.append(pos)
+        elif ch == ")" and stack:
+            spans.append((stack.pop(), pos))
+    return spans
+
+
+def scan(sf: SourceFile, cfg: Config):
+    findings: list[Finding] = []
+    suppressed = 0
+    if (not sf.rel.endswith(HEADER_SUFFIXES)
+            or not cfg.in_scope(sf.rel, cfg.unit_scope)):
+        return findings, {"suppressed": 0}
+
+    spans = paren_intervals(sf.code)
+
+    def enclosing_open(pos: int) -> int | None:
+        best: tuple[int, int] | None = None
+        for open_pos, close_pos in spans:
+            if open_pos < pos < close_pos:
+                if best is None or open_pos > best[0]:
+                    best = (open_pos, close_pos)
+        return None if best is None else best[0]
+
+    def report(offset: int, kind: str, name: str, token: str) -> None:
+        nonlocal suppressed
+        line = sf.line_of(offset)
+        if sf.allowed(line, "unit-suffix"):
+            suppressed += 1
+            return
+        findings.append(Finding(
+            sf.rel, line, "unit-suffix", f"{kind}:{name}",
+            f"{kind} `{name}` is a physical quantity (`{token}`) carried by "
+            "a raw numeric type; spell the unit in the name (_ms, _watts, "
+            "_dbm, _hz, _bytes, _mbps, _m, ...) or mark it dimensionless "
+            "(_scale, _ratio, _prob, ...)"))
+
+    for match in PARAM.finditer(sf.code):
+        open_pos = enclosing_open(match.start())
+        if open_pos is None:
+            continue  # not inside parens: a local/member declaration
+        before = sf.code[:open_pos].rstrip()
+        if not before or not (before[-1].isalnum() or before[-1] == "_"):
+            continue  # enclosing paren is not a function's parameter list
+        token = classify(match.group("name"), cfg)
+        if token is not None:
+            report(match.start(), "parameter", match.group("name"), token)
+
+    depth = 0
+    depth_at: dict[int, int] = {}
+    matches = list(RETURN_FN.finditer(sf.code))
+    starts = {m.start() for m in matches}
+    for pos, ch in enumerate(sf.code):
+        if pos in starts:
+            depth_at[pos] = depth
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+    for match in matches:
+        if depth_at.get(match.start(), 1) != 0:
+            continue  # inside a parameter list: handled by the param pass
+        token = classify(match.group("name"), cfg)
+        if token is not None:
+            report(match.start(), "function", match.group("name"), token)
+
+    return findings, {"suppressed": suppressed}

@@ -1,0 +1,164 @@
+"""Scan orchestration: discovery, parallel per-file pass, global passes,
+baseline application, and output."""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from . import rules as rule_registry
+from .baseline import BaselineEntry, apply_baseline
+from .config import SOURCE_SUFFIXES, Config
+from .findings import FileReport, Finding
+from .source import SourceFile
+
+# Worker-process state (ProcessPoolExecutor initializer): the Config is
+# shipped once per worker instead of once per file.
+_worker_cfg: Config | None = None
+_worker_root: Path | None = None
+_worker_rules: frozenset[str] | None = None
+
+
+def _init_worker(cfg: Config, root: Path, active: frozenset[str]) -> None:
+    global _worker_cfg, _worker_root, _worker_rules
+    _worker_cfg = cfg
+    _worker_root = root
+    _worker_rules = active
+
+
+def _scan_one(rel: str) -> FileReport:
+    return scan_file(_worker_root, rel, _worker_cfg, _worker_rules)
+
+
+def scan_file(root: Path, rel: str, cfg: Config,
+              active: frozenset[str]) -> FileReport:
+    sf = SourceFile.load(root, rel)
+    report = FileReport(rel=rel)
+    for pack in rule_registry.PACKS:
+        if not active.intersection(pack.RULES):
+            continue
+        findings, facts = pack.scan(sf, cfg)
+        report.findings.extend(
+            f for f in findings if f.rule in active)
+        report.suppressed += facts.pop("suppressed", 0)
+        report.facts.update(facts)
+    return report
+
+
+def discover(root: Path, cfg: Config, only: list[str] | None) -> list[str]:
+    """Repo-relative POSIX paths of every scannable source file."""
+    if only:
+        rels = []
+        for item in only:
+            path = (root / item).resolve()
+            if not path.is_file():
+                raise FileNotFoundError(f"no such file: {item}")
+            rels.append(path.relative_to(root.resolve()).as_posix())
+        return sorted(rels)
+    rels = []
+    for top in cfg.roots:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.is_file() and path.suffix in SOURCE_SUFFIXES:
+                rel = path.relative_to(root).as_posix()
+                if not cfg.in_scope(rel, cfg.exclude):
+                    rels.append(rel)
+    return rels
+
+
+@dataclass
+class RunResult:
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.stale_baseline
+
+
+def run(root: Path, cfg: Config, active: frozenset[str],
+        baseline_entries: list[BaselineEntry],
+        only: list[str] | None = None, jobs: int = 0) -> RunResult:
+    rels = discover(root, cfg, only)
+    result = RunResult(files_scanned=len(rels))
+
+    if jobs == 0:
+        jobs = min(8, os.cpu_count() or 1)
+    reports: list[FileReport]
+    if jobs <= 1 or len(rels) < 8:
+        _init_worker(cfg, root, active)
+        reports = [_scan_one(rel) for rel in rels]
+    else:
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=jobs, initializer=_init_worker,
+                initargs=(cfg, root, active)) as pool:
+            reports = list(pool.map(_scan_one, rels, chunksize=4))
+
+    findings: list[Finding] = []
+    for report in reports:
+        findings.extend(report.findings)
+        result.suppressed += report.suppressed
+    for pack in rule_registry.PACKS:
+        if hasattr(pack, "global_scan") and active.intersection(pack.RULES):
+            findings.extend(
+                f for f in pack.global_scan(reports, cfg) if f.rule in active)
+
+    findings.sort()
+    survivors, result.baselined, result.stale_baseline = apply_baseline(
+        findings, baseline_entries)
+    # Entries for rules outside this run's selection cannot match anything;
+    # don't report them stale when the user narrowed --rules.
+    if active != frozenset(rule_registry.ALL_RULES):
+        result.stale_baseline = [
+            e for e in result.stale_baseline if e.rule in active]
+    result.findings = survivors
+    return result
+
+
+def render_text(result: RunResult, out) -> None:
+    for finding in result.findings:
+        print(f"{finding.file}:{finding.line}: [{finding.rule}] "
+              f"{finding.message}", file=out)
+    for entry in result.stale_baseline:
+        print(f"{entry.file}: [stale-baseline] entry ({entry.rule}, "
+              f"{entry.key}) matches no current finding — remove it "
+              f"(reason was: {entry.reason})", file=out)
+    status = "clean" if result.clean else (
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.stale_baseline)} stale baseline entr(ies)")
+    print(f"idde_analyze: {result.files_scanned} files, "
+          f"{result.suppressed} suppressed, {result.baselined} baselined: "
+          f"{status}", file=out)
+
+
+def render_json(result: RunResult, out) -> None:
+    doc = {
+        "version": 1,
+        "files_scanned": result.files_scanned,
+        "suppressed": result.suppressed,
+        "baselined": result.baselined,
+        "findings": [f.as_json() for f in result.findings],
+        "stale_baseline": [
+            {"rule": e.rule, "file": e.file, "key": e.key, "reason": e.reason}
+            for e in result.stale_baseline],
+        "clean": result.clean,
+    }
+    json.dump(doc, out, indent=1, sort_keys=True)
+    out.write("\n")
+
+
+def render(result: RunResult, fmt: str, out_path: str | None) -> None:
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as out:
+            (render_json if fmt == "json" else render_text)(result, out)
+    else:
+        (render_json if fmt == "json" else render_text)(result, sys.stdout)

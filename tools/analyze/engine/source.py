@@ -1,0 +1,122 @@
+"""Shared source scanner: loading, stripping, and suppression parsing.
+
+Every rule works from a `SourceFile`, which exposes the file twice:
+
+  raw_lines   the file as written — used for suppression comments and the
+              justification tags some rules accept (`memory-order: ...`,
+              `capacity-bound: ...`, `ordered-reduction: ...`);
+  code        the file with string literals, character literals, raw
+              strings, and comments blanked out (same length, same line
+              structure), so rule patterns match code only and positions in
+              `code` map 1:1 to positions in the original text.
+
+The stripper is a single whole-file pass, unlike the old per-line state
+machine in check_project.py — raw strings (R"delim(...)delim") and
+multi-line block comments are handled exactly instead of approximately.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+ALLOW_PATTERN = re.compile(r"//\s*lint:\s*allow\((?P<rules>[\w\-, ]+)\)")
+RAW_STRING_OPEN = re.compile(r'R"([^\s()\\]{0,16})\(')
+
+
+def strip_code(text: str) -> str:
+    """Blanks comments and literals, preserving length and newlines.
+
+    Stripped characters become spaces (newlines inside block comments and
+    raw strings survive), so byte offsets and line numbers in the result
+    address the original file.
+    """
+    out = list(text)
+    i = 0
+    n = len(text)
+
+    def blank(start: int, end: int) -> None:
+        for k in range(start, min(end, n)):
+            if out[k] != "\n":
+                out[k] = " "
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            end = text.find("\n", i)
+            end = n if end < 0 else end
+            blank(i, end)
+            i = end
+        elif c == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            end = n if end < 0 else end + 2
+            blank(i, end)
+            i = end
+        elif c == "R" and nxt == '"' and (i == 0 or not text[i - 1].isalnum()):
+            match = RAW_STRING_OPEN.match(text, i)
+            if match is None:
+                i += 1
+                continue
+            closer = ")" + match.group(1) + '"'
+            end = text.find(closer, match.end())
+            end = n if end < 0 else end + len(closer)
+            blank(i, end)
+            i = end
+        elif c == '"' or c == "'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            end = min(j + 1, n)
+            blank(i + 1, end - 1)  # keep the quotes: "" stays visibly a string
+            i = end
+        else:
+            i += 1
+    return "".join(out)
+
+
+@dataclass
+class SourceFile:
+    """One scanned file plus the derived views rules consume."""
+
+    rel: str                      # repo-root-relative POSIX path
+    path: Path
+    text: str                     # original contents
+    code: str = field(default="", repr=False)       # stripped contents
+    raw_lines: list[str] = field(default_factory=list, repr=False)
+    code_lines: list[str] = field(default_factory=list, repr=False)
+    allows: dict[int, set[str]] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def load(cls, root: Path, rel: str) -> "SourceFile":
+        path = root / rel
+        text = path.read_text(errors="replace")
+        sf = cls(rel=rel, path=path, text=text)
+        sf.code = strip_code(text)
+        sf.raw_lines = text.splitlines()
+        sf.code_lines = sf.code.splitlines()
+        for lineno, raw in enumerate(sf.raw_lines, 1):
+            match = ALLOW_PATTERN.search(raw)
+            if match:
+                sf.allows[lineno] = {
+                    rule.strip() for rule in match.group("rules").split(",")
+                }
+        return sf
+
+    def line_of(self, offset: int) -> int:
+        """1-based line number of a byte offset into text/code."""
+        return self.text.count("\n", 0, offset) + 1
+
+    def allowed(self, lineno: int, rule: str) -> bool:
+        return rule in self.allows.get(lineno, ())
+
+    def tag_nearby(self, lineno: int, tag: str, above: int = 3) -> bool:
+        """True when a justification `tag` appears on the line or within
+        `above` raw lines before it — the convention shared by
+        `capacity-bound:`, `memory-order:`, and `ordered-reduction:`."""
+        lo = max(0, lineno - 1 - above)
+        return any(tag in raw for raw in self.raw_lines[lo:lineno])
+
+    def top_dirs(self, depth: int = 2) -> tuple[str, ...]:
+        return tuple(self.rel.split("/")[:depth])

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""idde_analyze: project-wide static analysis for the idde tree.
+
+Usage:
+  tools/analyze/idde_analyze.py [FILE...] [options]
+
+Options:
+  --root DIR          analysis root (default: the repository root)
+  --config FILE       JSON Config overrides (fixtures/self-tests)
+  --rules a,b,c       run only the named rules (default: all)
+  --list-rules        print the rule catalog and exit
+  --format text|json  output format (default: text)
+  --out FILE          write the report to FILE instead of stdout
+  --baseline FILE     suppression baseline (default: tools/analyze/
+                      baseline.json under the root, when present)
+  --no-baseline       ignore any baseline file
+  --jobs N            worker processes (default: min(8, cpus); 1 = serial)
+
+Exit status: 0 clean; 1 findings or stale baseline entries; 2 usage error
+(bad config, malformed baseline, unknown rule).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from engine import rules as rule_registry           # noqa: E402
+from engine.baseline import BaselineError, load_baseline  # noqa: E402
+from engine.config import Config                    # noqa: E402
+from engine.runner import render, run               # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="idde_analyze", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="*")
+    parser.add_argument("--root", default=None)
+    parser.add_argument("--config", default=None)
+    parser.add_argument("--rules", default=None)
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--out", default=None)
+    parser.add_argument("--baseline", default=None)
+    parser.add_argument("--no-baseline", action="store_true")
+    parser.add_argument("--jobs", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in sorted(rule_registry.ALL_RULES.items()):
+            print(f"{rule:20} {desc}")
+        return 0
+
+    try:
+        root = Path(args.root).resolve() if args.root else REPO_ROOT
+        if not root.is_dir():
+            raise ValueError(f"--root {root} is not a directory")
+        cfg = Config.load(Path(args.config) if args.config else None)
+
+        active = frozenset(rule_registry.ALL_RULES)
+        if args.rules:
+            requested = {r.strip() for r in args.rules.split(",") if r.strip()}
+            unknown = requested - active
+            if unknown:
+                raise ValueError(
+                    f"unknown rule(s): {', '.join(sorted(unknown))} "
+                    "(see --list-rules)")
+            active = frozenset(requested)
+
+        entries = []
+        if not args.no_baseline:
+            baseline_path = (Path(args.baseline) if args.baseline
+                             else root / "tools" / "analyze" / "baseline.json")
+            if args.baseline or baseline_path.is_file():
+                entries = load_baseline(baseline_path)
+
+        result = run(root, cfg, active, entries,
+                     only=args.files or None, jobs=args.jobs)
+    except (BaselineError, ValueError, FileNotFoundError) as err:
+        print(f"idde_analyze: error: {err}", file=sys.stderr)
+        return 2
+
+    render(result, args.format, args.out)
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Zero-new-findings gate for clang scan-build results.
+
+scan-build writes one plist per analyzed TU (plus the HTML report CI uploads
+as an artifact). This gate fingerprints every diagnostic as
+(checker, repo-relative file, issue hash) and compares the set against the
+committed baseline:
+
+  - a finding not in the baseline FAILS the gate (exit 1) — new analyzer
+    findings must be fixed or explicitly baselined with a reason;
+  - a baseline entry matching nothing is reported as stale but does not
+    fail: diagnostics drift across clang versions, and the gate's contract
+    is "no new findings", not "this exact set".
+
+The issue hash (issue_hash_content_of_line_in_context) is content-anchored,
+so unrelated edits do not detach baseline entries; when a plist lacks it,
+the diagnostic description stands in.
+
+Usage:
+  scan_build_gate.py --results DIR [--baseline FILE] [--root DIR]
+                     [--write-baseline FILE]
+
+Exit status: 0 gate passed; 1 new findings; 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import plistlib
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+REQUIRED_FIELDS = ("checker", "file", "hash", "reason")
+
+
+def collect(results: Path, root: Path) -> list[dict]:
+    """Fingerprints of every diagnostic in every plist under `results`."""
+    findings = []
+    for plist_path in sorted(results.rglob("*.plist")):
+        with open(plist_path, "rb") as fh:
+            try:
+                doc = plistlib.load(fh)
+            except Exception as err:  # malformed plist: a usage error
+                raise ValueError(f"{plist_path}: not a valid plist: {err}")
+        files = doc.get("files", [])
+        for diag in doc.get("diagnostics", []):
+            file_index = diag.get("location", {}).get("file", -1)
+            path = files[file_index] if 0 <= file_index < len(files) else ""
+            try:
+                rel = Path(path).resolve().relative_to(root).as_posix()
+            except ValueError:
+                rel = path
+            findings.append({
+                "checker": diag.get("check_name", diag.get("type", "?")),
+                "file": rel,
+                "hash": diag.get("issue_hash_content_of_line_in_context",
+                                 diag.get("description", "?")),
+                "description": diag.get("description", ""),
+                "line": diag.get("location", {}).get("line", 0),
+            })
+    return findings
+
+
+def load_baseline(path: Path) -> list[dict]:
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as err:
+        raise ValueError(f"{path}: not valid JSON: {err}")
+    if not isinstance(data, dict) or not isinstance(data.get("entries"), list):
+        raise ValueError(f'{path}: expected {{"entries": [...]}}')
+    for i, entry in enumerate(data["entries"]):
+        missing = [f for f in REQUIRED_FIELDS
+                   if not isinstance(entry.get(f), str) or not entry[f].strip()]
+        if missing:
+            raise ValueError(
+                f"{path}: entries[{i}] missing or empty field(s): "
+                f"{', '.join(missing)} (every entry needs a one-line reason)")
+    return data["entries"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="scan_build_gate")
+    parser.add_argument("--results", required=True,
+                        help="scan-build output directory (searched for "
+                             "*.plist recursively)")
+    parser.add_argument("--baseline", default=None)
+    parser.add_argument("--root", default=None)
+    parser.add_argument("--write-baseline", default=None,
+                        help="write the observed findings as a baseline "
+                             "skeleton (reasons must then be filled in)")
+    args = parser.parse_args(argv)
+
+    try:
+        results = Path(args.results)
+        if not results.is_dir():
+            raise ValueError(f"--results {results} is not a directory")
+        root = Path(args.root).resolve() if args.root else REPO_ROOT
+        baseline_path = (Path(args.baseline) if args.baseline
+                         else REPO_ROOT / "tools" / "analyze"
+                         / "scan_build_baseline.json")
+        entries = load_baseline(baseline_path)
+        findings = collect(results, root)
+    except ValueError as err:
+        print(f"scan_build_gate: error: {err}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        skeleton = {"entries": [
+            {"checker": f["checker"], "file": f["file"], "hash": f["hash"],
+             "reason": f"FILL IN: {f['description']}"[:120]}
+            for f in findings]}
+        Path(args.write_baseline).write_text(
+            json.dumps(skeleton, indent=1, sort_keys=True) + "\n")
+        print(f"scan_build_gate: wrote {len(findings)} entr(ies) to "
+              f"{args.write_baseline}")
+        return 0
+
+    known = {(e["checker"], e["file"], e["hash"]) for e in entries}
+    observed = {(f["checker"], f["file"], f["hash"]) for f in findings}
+    new = [f for f in findings
+           if (f["checker"], f["file"], f["hash"]) not in known]
+    stale = [e for e in entries
+             if (e["checker"], e["file"], e["hash"]) not in observed]
+
+    for f in new:
+        print(f"{f['file']}:{f['line']}: [{f['checker']}] {f['description']} "
+              f"(hash {f['hash']})")
+    for e in stale:
+        print(f"note: stale baseline entry ({e['checker']}, {e['file']}) — "
+              f"no longer reported; consider removing (reason was: "
+              f"{e['reason']})")
+    print(f"scan_build_gate: {len(findings)} finding(s), {len(new)} new, "
+          f"{len(findings) - len(new)} baselined, {len(stale)} stale "
+          f"baseline entr(ies): {'FAIL' if new else 'pass'}")
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

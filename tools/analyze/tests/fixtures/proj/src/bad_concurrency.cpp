@@ -1,0 +1,54 @@
+// Fixture: every construct here is a deliberate violation (or a deliberate
+// non-violation) pinned by tests/golden.json. Not compiled.
+#include "util/mutex.hpp"
+
+#include <atomic>
+
+namespace fixture {
+
+// Declared edges forming a cycle a -> b -> c -> a: lock-cycle.
+util::Mutex a_mutex IDDE_ACQUIRED_BEFORE(b_mutex);
+util::Mutex b_mutex IDDE_ACQUIRED_BEFORE(c_mutex);
+util::Mutex c_mutex IDDE_ACQUIRED_BEFORE(a_mutex);
+
+// Nesting covered by a declared edge: no lock-order finding.
+void covered() {
+  util::MutexLock l1(a_mutex);
+  util::MutexLock l2(b_mutex);
+}
+
+util::Mutex x_mutex;
+util::Mutex y_mutex;
+
+// Nesting with no declared edge: lock-order.
+void undeclared() {
+  util::MutexLock l1(x_mutex);
+  util::MutexLock l2(y_mutex);
+}
+
+util::Mutex s_mutex;
+
+// Re-acquisition while held: self-deadlock lock-order.
+void self_nest() {
+  util::MutexLock l1(s_mutex);
+  {
+    util::MutexLock l2(s_mutex);
+  }
+}
+
+// Sequential scopes, never held together: no finding.
+void sequential() {
+  {
+    util::MutexLock l1(x_mutex);
+  }
+  {
+    util::MutexLock l2(y_mutex);
+  }
+}
+
+std::atomic<int> counter{0};  // atomic-order: no justification
+
+// memory-order: seq_cst tally, read only after the join
+std::atomic<int> justified_counter{0};
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// Fixture: deliberate determinism violations pinned by tests/golden.json.
+#include <map>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace fixture {
+
+struct Widget {};
+
+std::unordered_map<int, int> table;  // unordered-container
+std::map<Widget*, int> by_ptr;       // pointer-key-order
+std::map<int, int> fine_map;         // ordered: no finding
+
+double reduce_all(const std::vector<double>& xs) {
+  return std::reduce(xs.begin(), xs.end());  // par-stl
+}
+
+double sum2 = 0.0;
+
+void accumulate(util::ThreadPool& pool, std::vector<double>& out) {
+  double total = 0.0;
+  util::parallel_for(pool, out.size(), [&](std::size_t i) {
+    total += out[i];  // par-float-accum: declared outside the body
+  });
+  util::parallel_for(pool, out.size(), [&](std::size_t i) {
+    double local = 0.0;
+    local += out[i];  // thread-private: no finding
+    out[i] = local;
+  });
+  util::parallel_for(pool, out.size(), [&](std::size_t i) {
+    // ordered-reduction: fixture runs single-threaded, order is fixed
+    sum2 += out[i];
+  });
+  (void)total;
+}
+
+}  // namespace fixture

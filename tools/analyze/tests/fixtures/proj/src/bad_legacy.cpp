@@ -1,0 +1,21 @@
+// Fixture: deliberate legacy-rule violations pinned by tests/golden.json.
+#include <cassert>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+std::mutex raw_mutex;  // naked-sync
+
+int helper() {
+  assert(1 + 1 == 2);  // naked-assert
+  static_assert(sizeof(int) >= 2);  // exempt on its own line
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // naked-sleep
+  const auto t0 = std::chrono::steady_clock::now();  // naked-timing
+  (void)t0;
+  return rand();  // naked-rand
+}
+
+}  // namespace fixture

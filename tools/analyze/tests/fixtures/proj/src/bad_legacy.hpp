@@ -1,0 +1,4 @@
+// Fixture: header-scoped legacy violation pinned by tests/golden.json.
+#pragma once
+
+using namespace std;  // std-using

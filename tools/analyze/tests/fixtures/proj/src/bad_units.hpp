@@ -1,0 +1,12 @@
+// Fixture: deliberate unit-suffix violations pinned by tests/golden.json.
+#pragma once
+
+namespace fixture {
+
+double peak_power(double load_ratio);            // function name lacks unit
+void set_latency(double latency, double budget_ms);  // param lacks unit
+double elapsed_ms();                             // unit spelled: no finding
+double availability();                           // no quantity token: fine
+void set_gain(double gain_scale);                // dimensionless: fine
+
+}  // namespace fixture

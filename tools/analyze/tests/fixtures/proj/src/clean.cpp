@@ -1,0 +1,6 @@
+// Fixture: a file with nothing to report.
+namespace fixture {
+
+int add(int a, int b) { return a + b; }
+
+}  // namespace fixture

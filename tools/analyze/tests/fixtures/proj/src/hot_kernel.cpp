@@ -1,0 +1,20 @@
+// Fixture: hot-tagged file (see fixtures/config.json hot_path_files).
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+void kernel(std::vector<int>& out) {
+  auto scratch = std::make_unique<int[]>(16);  // hot-path-alloc
+  out.push_back(1);  // hot-path-alloc: no out.reserve( in this file
+  (void)scratch;
+}
+
+void cold_setup(std::vector<int>& buf) {
+  buf.reserve(64);
+  buf.push_back(0);  // reserved above: no finding
+  int* raw = new int[4];  // lint: alloc-ok(setup path, runs once)
+  delete[] raw;
+}
+
+}  // namespace fixture

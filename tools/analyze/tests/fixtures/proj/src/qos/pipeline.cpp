@@ -1,0 +1,11 @@
+// Fixture: queue-bound rule, one violation and one documented bound.
+#include <queue>
+
+namespace fixture {
+
+std::queue<int> pending;  // unbounded-queue: no documented bound
+
+// capacity-bound: drained every tick; never exceeds the fan-in of 4
+std::queue<int> bounded_ok;
+
+}  // namespace fixture

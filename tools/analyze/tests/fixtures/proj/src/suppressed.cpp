@@ -1,0 +1,13 @@
+// Fixture: inline suppressions — both sites count as suppressed, not found.
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fixture {
+
+std::unordered_map<int, int> cache;  // lint: allow(unordered-container)
+
+int noisy() {
+  return rand();  // lint: allow(naked-rand)
+}
+
+}  // namespace fixture

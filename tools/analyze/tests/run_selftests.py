@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Self-tests for idde_analyze: fixture scans against golden output, plus
+the suppression, baseline, and error-path contracts.
+
+Run directly (or via ctest as `analyze_selftest`); pass --regen after a
+deliberate rule or fixture change to rewrite tests/golden.json, then review
+the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+TESTS = Path(__file__).resolve().parent
+SCRIPT = TESTS.parent / "idde_analyze.py"
+FIXTURES = TESTS / "fixtures"
+PROJ = FIXTURES / "proj"
+CONFIG = FIXTURES / "config.json"
+GOLDEN = TESTS / "golden.json"
+
+_failures: list[str] = []
+
+
+def check(name: str, ok: bool, detail: str = "") -> None:
+    status = "ok" if ok else "FAIL"
+    print(f"  {status:4} {name}" + (f" — {detail}" if detail and not ok else ""))
+    if not ok:
+        _failures.append(name)
+
+
+def run_cli(*args: str, baseline: str | None = None):
+    """Returns (exit_code, parsed_json_or_None, stderr)."""
+    cmd = [sys.executable, str(SCRIPT), "--root", str(PROJ),
+           "--config", str(CONFIG), "--format", "json", "--jobs", "1"]
+    cmd += ["--baseline", baseline] if baseline else ["--no-baseline"]
+    cmd += list(args)
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    doc = None
+    if proc.stdout.strip():
+        try:
+            doc = json.loads(proc.stdout)
+        except json.JSONDecodeError:
+            pass
+    return proc.returncode, doc, proc.stderr
+
+
+def scenario_golden(regen: bool) -> None:
+    code, doc, err = run_cli()
+    check("full-scan runs", doc is not None, err)
+    if doc is None:
+        return
+    if regen:
+        GOLDEN.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+        print(f"  regenerated {GOLDEN}")
+        return
+    check("full-scan exits 1 (findings present)", code == 1, f"exit={code}")
+    golden = json.loads(GOLDEN.read_text())
+    if doc != golden:
+        got = {(f["rule"], f["file"], f["key"]) for f in doc["findings"]}
+        want = {(f["rule"], f["file"], f["key"]) for f in golden["findings"]}
+        detail = (f"unexpected={sorted(got - want)} "
+                  f"missing={sorted(want - got)}; counts/fields may also "
+                  "differ — rerun with --regen and review the diff")
+        check("full-scan matches golden.json", False, detail)
+    else:
+        check("full-scan matches golden.json", True)
+
+
+def scenario_clean() -> None:
+    code, doc, err = run_cli("src/clean.cpp")
+    check("clean file exits 0", code == 0, err)
+    check("clean file reports clean", bool(doc and doc["clean"]))
+
+
+def scenario_suppression() -> None:
+    code, doc, err = run_cli("src/suppressed.cpp")
+    check("suppressed file exits 0", code == 0, err)
+    check("suppressed count is 2",
+          bool(doc) and doc["suppressed"] == 2,
+          f"suppressed={doc and doc['suppressed']}")
+    check("suppressed sites are not findings",
+          bool(doc) and not doc["findings"])
+
+
+def scenario_baseline_partial() -> None:
+    baseline = str(FIXTURES / "baseline_partial.json")
+    code, doc, err = run_cli(baseline=baseline)
+    check("partial baseline still exits 1", code == 1, err)
+    if not doc:
+        return
+    check("partial baseline absorbs 2 findings", doc["baselined"] == 2,
+          f"baselined={doc['baselined']}")
+    idents = {(f["rule"], f["file"], f["key"]) for f in doc["findings"]}
+    absorbed = {
+        ("unordered-container", "src/bad_determinism.cpp",
+         "std::unordered_map"),
+        ("lock-cycle", "src/bad_concurrency.cpp",
+         "a_mutex->b_mutex->c_mutex->a_mutex"),
+    }
+    check("baselined findings are gone", not (idents & absorbed))
+    check("no stale entries", not doc["stale_baseline"])
+
+
+def scenario_baseline_full() -> None:
+    golden = json.loads(GOLDEN.read_text())
+    entries, seen = [], set()
+    for f in golden["findings"]:
+        ident = (f["rule"], f["file"], f["key"])
+        if ident in seen:
+            continue
+        seen.add(ident)
+        entries.append({"rule": f["rule"], "file": f["file"], "key": f["key"],
+                        "reason": "selftest: full-coverage baseline"})
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as tmp:
+        json.dump({"entries": entries}, tmp)
+        path = tmp.name
+    try:
+        code, doc, err = run_cli(baseline=path)
+        check("full baseline exits 0", code == 0, err)
+        check("full baseline absorbs everything",
+              bool(doc) and doc["clean"] and not doc["findings"])
+    finally:
+        Path(path).unlink()
+
+
+def scenario_baseline_stale() -> None:
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as tmp:
+        json.dump({"entries": [{
+            "rule": "naked-rand", "file": "src/clean.cpp", "key": "rand",
+            "reason": "selftest: intentionally stale"}]}, tmp)
+        path = tmp.name
+    try:
+        code, doc, err = run_cli("src/clean.cpp", baseline=path)
+        check("stale baseline exits 1", code == 1, err)
+        check("stale entry is reported",
+              bool(doc) and len(doc["stale_baseline"]) == 1)
+    finally:
+        Path(path).unlink()
+
+
+def scenario_baseline_malformed() -> None:
+    code, _, err = run_cli(baseline=str(FIXTURES / "baseline_bad.json"))
+    check("missing-reason baseline exits 2", code == 2, f"exit={code}")
+    check("error names the missing field", "reason" in err, err)
+
+
+def scenario_rule_selection() -> None:
+    code, _, err = run_cli("--rules", "no-such-rule")
+    check("unknown rule exits 2", code == 2, f"exit={code}")
+    check("error lists the unknown rule", "no-such-rule" in err, err)
+    code, doc, _ = run_cli("--rules", "naked-rand", "src/bad_legacy.cpp")
+    check("narrowed run finds only the selected rule",
+          bool(doc) and {f["rule"] for f in doc["findings"]} == {"naked-rand"})
+    check("narrowed run exits 1", code == 1)
+
+
+def main() -> int:
+    regen = "--regen" in sys.argv[1:]
+    print("idde_analyze self-tests:")
+    scenario_golden(regen)
+    if not regen:
+        scenario_clean()
+        scenario_suppression()
+        scenario_baseline_partial()
+        scenario_baseline_full()
+        scenario_baseline_stale()
+        scenario_baseline_malformed()
+        scenario_rule_selection()
+    if _failures:
+        print(f"{len(_failures)} scenario check(s) failed: {_failures}")
+        return 1
+    print("all scenarios passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Self-test for scan_build_gate.py against a synthetic plist results dir."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+TESTS = Path(__file__).resolve().parent
+GATE = TESTS.parent / "scan_build_gate.py"
+RESULTS = TESTS / "fixtures" / "scan_build"
+
+ENTRY_NULL = {"checker": "core.NullDereference", "file": "src/core/game.cpp",
+              "hash": "f00dfeed01", "reason": "fixture: known false positive"}
+ENTRY_DEAD = {"checker": "deadcode.DeadStores", "file": "src/util/json.cpp",
+              "hash": "cafebabe02", "reason": "fixture: accepted dead store"}
+
+_failures: list[str] = []
+
+
+def check(name: str, ok: bool, detail: str = "") -> None:
+    print(f"  {'ok' if ok else 'FAIL':4} {name}"
+          + (f" — {detail}" if detail and not ok else ""))
+    if not ok:
+        _failures.append(name)
+
+
+def run_gate(baseline: dict, *extra: str):
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as tmp:
+        json.dump(baseline, tmp)
+        path = tmp.name
+    try:
+        proc = subprocess.run(
+            [sys.executable, str(GATE), "--results", str(RESULTS),
+             "--root", "/work", "--baseline", path, *extra],
+            capture_output=True, text=True)
+    finally:
+        Path(path).unlink()
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def main() -> int:
+    print("scan_build_gate self-tests:")
+
+    code, out, _ = run_gate({"entries": []})
+    check("empty baseline: 2 new findings fail the gate", code == 1,
+          f"exit={code}")
+    check("new findings are listed",
+          "core.NullDereference" in out and "deadcode.DeadStores" in out)
+
+    code, out, _ = run_gate({"entries": [ENTRY_NULL, ENTRY_DEAD]})
+    check("full baseline passes", code == 0, out)
+    check("both findings baselined", "2 baselined" in out, out)
+
+    stale = {"checker": "core.DivideZero", "file": "src/gone.cpp",
+             "hash": "deadbeef99", "reason": "fixture: fixed long ago"}
+    code, out, _ = run_gate({"entries": [ENTRY_NULL, ENTRY_DEAD, stale]})
+    check("stale entry does not fail the gate", code == 0, out)
+    check("stale entry is reported", "stale baseline entry" in out, out)
+
+    bad = {"entries": [{"checker": "x", "file": "y", "hash": "z",
+                        "reason": ""}]}
+    code, _, err = run_gate(bad)
+    check("missing reason exits 2", code == 2, f"exit={code}")
+    check("error names the missing field", "reason" in err, err)
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        skeleton_path = Path(tmpdir) / "skeleton.json"
+        code, out, _ = run_gate({"entries": []},
+                                "--write-baseline", str(skeleton_path))
+        skeleton = json.loads(skeleton_path.read_text())
+        check("--write-baseline exits 0", code == 0, out)
+        check("skeleton has both findings", len(skeleton["entries"]) == 2)
+        check("skeleton reasons demand editing",
+              all(e["reason"].startswith("FILL IN")
+                  for e in skeleton["entries"]))
+
+    proc = subprocess.run(
+        [sys.executable, str(GATE), "--results", "/no/such/dir"],
+        capture_output=True, text=True)
+    check("missing results dir exits 2", proc.returncode == 2)
+
+    if _failures:
+        print(f"{len(_failures)} check(s) failed: {_failures}")
+        return 1
+    print("all scenarios passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
