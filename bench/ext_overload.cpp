@@ -29,6 +29,9 @@
 #include <string>
 #include <vector>
 
+#include "dynamic/churn.hpp"
+#include "dynamic/mobility.hpp"
+#include "dynamic/world.hpp"
 #include "model/instance_builder.hpp"
 #include "obs/obs.hpp"
 #include "sim/overload.hpp"
@@ -82,6 +85,37 @@ int run_soak(std::size_t seeds, std::uint64_t base_seed) {
     util::Rng rng(seed ^ 0x5e111e5ULL);
     const core::Strategy strategy = idde_g->solve(instance, rng);
 
+    // The chaos layer also draws the dynamic events: walk every user for a
+    // few simulated seconds (so the replay runs a *stale* strategy in a
+    // drifted world) and knock churned-offline users out of the
+    // allocation (their requests fall through to the cloud path).
+    util::Rng walk_rng(seed ^ 0x3a1c0deULL);
+    dynamic::RandomWaypointModel mobility(
+        dynamic::user_positions(instance),
+        geo::BoundingBox::square(params.eua.area_side_m), {}, walk_rng);
+    for (std::size_t step = 0; step <= s % 4; ++step) {
+      mobility.step(1.0, walk_rng);
+    }
+    const model::ProblemInstance drifted = dynamic::with_user_positions(
+        instance, mobility.positions(),
+        radio::PathLossModel(params.pathloss_eta, params.pathloss_exponent));
+    util::Rng churn_rng(seed ^ 0xc1124ULL);
+    dynamic::ChurnParams churn_params;
+    churn_params.initial_online_fraction = 0.8;
+    dynamic::ChurnProcess churn(instance.user_count(), churn_params,
+                                churn_rng);
+    churn.step(5.0, churn_rng);
+    core::AllocationProfile churned_allocation = strategy.allocation;
+    std::size_t offline = 0;
+    for (std::size_t j = 0; j < churned_allocation.size(); ++j) {
+      if (!churn.online(j)) {
+        churned_allocation[j] = core::kUnallocated;
+        ++offline;
+      }
+    }
+    const core::Strategy churned(std::move(churned_allocation),
+                                 strategy.delivery);
+
     sim::OverloadCell cell;
     const double loads[] = {2.0, 6.0, 10.0};
     // Cycle the retry budget through empty (every abort goes cloud-direct),
@@ -95,17 +129,17 @@ int run_soak(std::size_t seeds, std::uint64_t base_seed) {
     cell.fault = sim::chaos_fault_profile();
     cell.seed = seed;
     const des::FlowSimResult result =
-        sim::run_overload_cell(instance, strategy, cell);
+        sim::run_overload_cell(drifted, churned, cell);
     const des::QosStats& stats = result.qos;
     const bool ok =
         stats.admitted + stats.shed + stats.rejected == stats.offered;
     if (!ok) ++violations;
     std::printf(
-        "soak seed %llu: offered=%zu admitted=%zu shed=%zu rejected=%zu "
-        "denied=%zu breaker_opens=%zu %s\n",
-        static_cast<unsigned long long>(seed), stats.offered, stats.admitted,
-        stats.shed, stats.rejected, stats.retries_denied, stats.breaker_opens,
-        ok ? "ok" : "ACCOUNTING VIOLATION");
+        "soak seed %llu: offline=%zu offered=%zu admitted=%zu shed=%zu "
+        "rejected=%zu denied=%zu breaker_opens=%zu %s\n",
+        static_cast<unsigned long long>(seed), offline, stats.offered,
+        stats.admitted, stats.shed, stats.rejected, stats.retries_denied,
+        stats.breaker_opens, ok ? "ok" : "ACCOUNTING VIOLATION");
   }
   if (violations > 0) {
     std::fprintf(stderr, "soak: %zu of %zu seeds violated accounting\n",

@@ -38,4 +38,6 @@ target_link_libraries(ext_contention PRIVATE idde_des)
 idde_bench(ext_resilience)
 target_link_libraries(ext_resilience PRIVATE idde_des idde_fault)
 idde_bench(ext_overload)
-target_link_libraries(ext_overload PRIVATE idde_des idde_fault idde_qos)
+target_link_libraries(ext_overload PRIVATE idde_des idde_fault idde_qos idde_dynamic)
+idde_bench(ext_serve)
+target_link_libraries(ext_serve PRIVATE idde_serve)

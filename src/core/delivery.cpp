@@ -42,6 +42,22 @@ void DeliveryProfile::place(std::size_t server, std::size_t item) {
   ++count_;
 }
 
+DeliveryProfile DeliveryProfile::restore(
+    const model::ProblemInstance& instance,
+    std::span<const std::pair<std::size_t, std::size_t>> placements,
+    std::span<const double> free_mb) {
+  IDDE_EXPECTS(free_mb.size() == instance.server_count());
+  DeliveryProfile profile(instance);
+  for (const auto& [server, item] : placements) {
+    profile.place(server, item);
+  }
+  // Overwrite the replayed headroom with the recorded bits (see header).
+  for (std::size_t i = 0; i < free_mb.size(); ++i) {
+    profile.free_mb_[i] = free_mb[i];
+  }
+  return profile;
+}
+
 DeliveryEvaluator::DeliveryEvaluator(const model::ProblemInstance& instance,
                                      const AllocationProfile& allocation,
                                      bool collaborative)

@@ -83,8 +83,13 @@ GameResult IddeUGame::run() {
 GameResult IddeUGame::run_from(const AllocationProfile& start) {
   IDDE_EXPECTS(start.size() == instance_->user_count());
   IDDE_OBS_SPAN("game.solve");
+  // kCycleProbe deliberately violates the invariants the dirty-set cache
+  // is built on (moves that do not improve benefit), so it always takes
+  // the serial full-scan engine.
+  const bool incremental =
+      options_.incremental && options_.rule != UpdateRule::kCycleProbe;
   GameResult result =
-      options_.incremental ? run_incremental(start) : run_full_scan(start);
+      incremental ? run_incremental(start) : run_full_scan(start);
   record_game_telemetry(result);
   return result;
 }
@@ -176,6 +181,40 @@ GameResult IddeUGame::run_full_scan(const AllocationProfile& start) {
         }
         break;
       }
+      case UpdateRule::kCycleProbe: {
+        // Watchdog-validation rule (see game.hpp): rotate the first
+        // eligible user through its candidate slots, ignoring benefit.
+        const std::size_t channels =
+            instance_->radio_env().channels_per_server;
+        for (std::size_t j = 0; j < user_count && !moved; ++j) {
+          if (!movable(j)) continue;
+          const auto& servers =
+              options_.candidate_servers != nullptr
+                  ? (*options_.candidate_servers)[j]
+                  : instance_->covering_servers(j);
+          if (servers.size() * channels < 2) continue;
+          const ChannelSlot slot = field.slot_of(j);
+          // Flat candidate index: position in the server-major,
+          // channel-minor scan order (or "before the first" when
+          // unallocated), advanced by one modulo the candidate count.
+          std::size_t flat = 0;
+          if (slot.allocated()) {
+            for (std::size_t s = 0; s < servers.size(); ++s) {
+              if (servers[s] == slot.server) {
+                flat = (s * channels + slot.channel + 1) %
+                       (servers.size() * channels);
+                break;
+              }
+            }
+          }
+          field.move_user(
+              j, ChannelSlot{servers[flat / channels], flat % channels});
+          record_move(j);
+          ++result.moves;
+          moved = true;
+        }
+        break;
+      }
     }
 
     if (!moved) {
@@ -184,7 +223,7 @@ GameResult IddeUGame::run_full_scan(const AllocationProfile& start) {
     }
   }
 
-  if (!result.converged) {
+  if (!result.converged && !options_.budgeted) {
     util::log_warn("IDDE-U game hit the round cap ({} rounds, {} moves)",
                    result.rounds, result.moves);
   }
@@ -389,6 +428,11 @@ GameResult IddeUGame::run_incremental(const AllocationProfile& start) {
         }
         break;
       }
+      case UpdateRule::kCycleProbe:
+        // Unreachable: run_from routes kCycleProbe to the full-scan
+        // engine (its non-improving moves break the dirty-set contract).
+        IDDE_ASSERT(false, "kCycleProbe on the incremental engine");
+        break;
     }
 
     if (!moved) {
@@ -397,7 +441,7 @@ GameResult IddeUGame::run_incremental(const AllocationProfile& start) {
     }
   }
 
-  if (!result.converged) {
+  if (!result.converged && !options_.budgeted) {
     util::log_warn("IDDE-U game hit the round cap ({} rounds, {} moves)",
                    result.rounds, result.moves);
   }

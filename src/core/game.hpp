@@ -35,7 +35,18 @@
 
 namespace idde::core {
 
-enum class UpdateRule { kBestImprovement, kFirstImprovement, kAsyncSweep };
+enum class UpdateRule {
+  kBestImprovement,
+  kFirstImprovement,
+  kAsyncSweep,
+  /// Adversarial validation rule: the lowest-indexed user with at least
+  /// two candidate slots cycles through them round-robin regardless of
+  /// benefit, so the dynamics never converge and the potential does not
+  /// descend. Exists to exercise convergence watchdogs
+  /// (serve::ServeController) end-to-end — never use it to solve.
+  /// Always runs on the serial full-scan engine.
+  kCycleProbe,
+};
 
 struct GameOptions {
   UpdateRule rule = UpdateRule::kBestImprovement;
@@ -66,6 +77,11 @@ struct GameOptions {
   /// for every engine, rule, and thread count. Disable to get the scalar
   /// per-slot oracle the batched kernel is validated against.
   bool batched = true;
+  /// The caller runs the game under a deliberate work budget (max_rounds
+  /// sized per event, as the serve controller does): hitting the round cap
+  /// is then the expected partial-repair outcome, not a solver anomaly, so
+  /// the round-cap warning is suppressed.
+  bool budgeted = false;
   /// Worker threads for re-evaluating the dirty set: 1 = serial (default),
   /// 0 = hardware concurrency, n = exactly n workers. Only engages on the
   /// incremental path; the move sequence is identical for every value.

@@ -20,7 +20,8 @@ RepairResult RepairPlanner::replan(const AllocationProfile& allocation,
                                    const DeliveryProfile& sigma,
                                    std::span<const std::uint8_t> server_up,
                                    const ReplicaLost& replica_lost,
-                                   bool collaborative) {
+                                   bool collaborative,
+                                   std::size_t max_placements) {
   const model::ProblemInstance& instance = *instance_;
   IDDE_EXPECTS(allocation.size() == instance.user_count());
   IDDE_EXPECTS(server_up.empty() || server_up.size() == instance.server_count());
@@ -80,7 +81,7 @@ RepairResult RepairPlanner::replan(const AllocationProfile& allocation,
       }
     }
   }
-  while (!heap_.empty()) {
+  while (!heap_.empty() && result.repair_placements < max_placements) {
     const Candidate top = heap_.front();
     std::pop_heap(heap_.begin(), heap_.end());
     heap_.pop_back();

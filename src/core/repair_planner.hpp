@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <span>
 #include <vector>
@@ -51,11 +52,18 @@ class RepairPlanner {
   /// evaluator, effective-allocation buffer) so per-epoch replans in the
   /// fault loop allocate nothing per move. Scratch is rewound per call;
   /// results are unaffected.
-  [[nodiscard]] RepairResult replan(const AllocationProfile& allocation,
-                                    const DeliveryProfile& sigma,
-                                    std::span<const std::uint8_t> server_up,
-                                    const ReplicaLost& replica_lost = {},
-                                    bool collaborative = true);
+  ///
+  /// `max_placements` caps how many *new* placements the greedy may add
+  /// (surviving placements are always kept). The online controller uses
+  /// it as a per-event work budget; because the lazy greedy pops
+  /// candidates in ratio order, the first n placements of a budgeted run
+  /// match the first n of an unbudgeted one, so repeated budgeted replans
+  /// converge to the unbudgeted fixpoint.
+  [[nodiscard]] RepairResult replan(
+      const AllocationProfile& allocation, const DeliveryProfile& sigma,
+      std::span<const std::uint8_t> server_up,
+      const ReplicaLost& replica_lost = {}, bool collaborative = true,
+      std::size_t max_placements = std::numeric_limits<std::size_t>::max());
 
  private:
   struct Candidate {

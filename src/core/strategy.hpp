@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "model/instance.hpp"
@@ -53,6 +54,18 @@ class DeliveryProfile {
     return free_mb_.size();
   }
   [[nodiscard]] std::size_t data_count() const noexcept { return data_count_; }
+
+  /// Checkpoint/restore: rebuilds a profile from a placement list plus the
+  /// exact per-server headroom of a prior run. place() accumulates
+  /// free_mb by repeated subtraction, so replaying placements in a
+  /// different order can perturb the low bits and flip a later can_place()
+  /// — restoring the recorded headroom verbatim keeps resumed runs
+  /// bit-identical to uninterrupted ones. `free_mb` must have one entry
+  /// per server; placements must be feasible and duplicate-free (checked).
+  [[nodiscard]] static DeliveryProfile restore(
+      const model::ProblemInstance& instance,
+      std::span<const std::pair<std::size_t, std::size_t>> placements,
+      std::span<const double> free_mb);
 
  private:
   const model::ProblemInstance* instance_;

@@ -1,6 +1,7 @@
 #include "dynamic/churn.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -17,6 +18,15 @@ ChurnProcess::ChurnProcess(std::size_t user_count, ChurnParams params,
       online_[j] = true;
       ++count_;
     }
+  }
+}
+
+void ChurnProcess::restore_mask(std::vector<bool> online) {
+  IDDE_EXPECTS(online.size() == online_.size());
+  online_ = std::move(online);
+  count_ = 0;
+  for (std::size_t j = 0; j < online_.size(); ++j) {
+    if (online_[j]) ++count_;
   }
 }
 

@@ -38,6 +38,11 @@ class ChurnProcess {
     return online_.size();
   }
 
+  /// Overwrites the online mask verbatim (checkpoint restore); the online
+  /// count is recomputed. Size must match the construction-time count; the
+  /// caller restores the churn RNG stream separately.
+  void restore_mask(std::vector<bool> online);
+
  private:
   std::vector<bool> online_;
   ChurnParams params_;

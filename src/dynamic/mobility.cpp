@@ -1,6 +1,7 @@
 #include "dynamic/mobility.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -27,6 +28,17 @@ void RandomWaypointModel::assign_waypoint(std::size_t user, util::Rng& rng) {
                  rng.uniform(bounds_.min.y, bounds_.max.y)};
   walks_[user].speed_mps =
       rng.uniform(params_.min_speed_mps, params_.max_speed_mps);
+}
+
+void RandomWaypointModel::restore_state(std::vector<geo::Point> positions,
+                                        std::vector<WalkState> walks,
+                                        double total_distance_m) {
+  IDDE_EXPECTS(positions.size() == positions_.size());
+  IDDE_EXPECTS(walks.size() == walks_.size());
+  IDDE_EXPECTS(total_distance_m >= 0.0);
+  positions_ = std::move(positions);
+  walks_ = std::move(walks);
+  total_distance_m_ = total_distance_m;
 }
 
 void RandomWaypointModel::step(double dt_seconds, util::Rng& rng) {

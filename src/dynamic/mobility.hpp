@@ -21,6 +21,14 @@ struct MobilityParams {
 
 class RandomWaypointModel {
  public:
+  /// Per-user walk state, exposed for checkpoint/restore: together with
+  /// the position and the walk RNG stream it is the model's entire state.
+  struct WalkState {
+    geo::Point waypoint;
+    double speed_mps = 1.0;
+    double pause_left_s = 0.0;
+  };
+
   /// Starts every user at its given position with a fresh waypoint.
   RandomWaypointModel(std::vector<geo::Point> initial_positions,
                       geo::BoundingBox bounds, MobilityParams params,
@@ -41,13 +49,17 @@ class RandomWaypointModel {
     return total_distance_m_;
   }
 
- private:
-  struct WalkState {
-    geo::Point waypoint;
-    double speed_mps = 1.0;
-    double pause_left_s = 0.0;
-  };
+  [[nodiscard]] const std::vector<WalkState>& walks() const noexcept {
+    return walks_;
+  }
 
+  /// Overwrites the model's state verbatim (checkpoint restore). Sizes
+  /// must match the construction-time user count; the caller restores the
+  /// walk RNG stream separately so the next step() draws identically.
+  void restore_state(std::vector<geo::Point> positions,
+                     std::vector<WalkState> walks, double total_distance_m);
+
+ private:
   void assign_waypoint(std::size_t user, util::Rng& rng);
 
   std::vector<geo::Point> positions_;

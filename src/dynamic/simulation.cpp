@@ -105,10 +105,22 @@ DynamicSummary DynamicSimulation::run() {
   DynamicSummary summary;
   summary.total_resolves = 1;
 
+  // Change-tracked rebuilds by default; the full per-step rebuild stays
+  // available as the oracle (see DynamicParams::rebuild_oracle).
+  std::optional<WorldTracker> tracker;
+  if (!params_.rebuild_oracle) tracker.emplace(base, pathloss);
+
   for (std::size_t step = 1; step <= params_.steps; ++step) {
     mobility.step(params_.step_seconds, walk_rng);
-    const model::ProblemInstance snapshot =
-        with_user_positions(base, mobility.positions(), pathloss);
+    std::optional<model::ProblemInstance> rebuilt;
+    if (tracker.has_value()) {
+      tracker->update(mobility.positions());
+    } else {
+      rebuilt.emplace(
+          with_user_positions(base, mobility.positions(), pathloss));
+    }
+    const model::ProblemInstance& snapshot =
+        tracker.has_value() ? tracker->instance() : *rebuilt;
 
     StepRecord record;
     record.time_s = static_cast<double>(step) * params_.step_seconds;

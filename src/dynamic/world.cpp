@@ -38,6 +38,43 @@ model::ProblemInstance with_user_positions(
                                 base.graph(), base.latency(), std::move(env));
 }
 
+WorldTracker::WorldTracker(const model::ProblemInstance& base,
+                           radio::PathLossModel pathloss)
+    : base_(&base),
+      pathloss_(pathloss),
+      positions_(user_positions(base)),
+      users_(base.users()),
+      env_(base.radio_env()) {
+  instance_.emplace(base.servers(), users_, base.data_items(),
+                    base.requests(), base.graph(), base.latency(), env_);
+}
+
+std::size_t WorldTracker::update(const std::vector<geo::Point>& positions) {
+  IDDE_EXPECTS(positions.size() == base_->user_count());
+  const std::size_t server_count = base_->server_count();
+  const std::size_t user_count = positions.size();
+  std::size_t refreshed = 0;
+  for (std::size_t j = 0; j < user_count; ++j) {
+    if (positions[j] == positions_[j]) continue;
+    positions_[j] = positions[j];
+    users_[j].position = positions[j];
+    env_.covering_servers[j].clear();
+    for (std::size_t i = 0; i < server_count; ++i) {
+      const model::EdgeServer& s = base_->server(i);
+      const double dist = geo::distance_m(s.position, positions[j]);
+      env_.gain[i * user_count + j] = pathloss_.gain(dist);
+      if (dist <= s.coverage_radius_m) env_.covering_servers[j].push_back(i);
+    }
+    ++refreshed;
+  }
+  if (refreshed > 0) {
+    instance_.emplace(base_->servers(), users_, base_->data_items(),
+                      base_->requests(), base_->graph(), base_->latency(),
+                      env_);
+  }
+  return refreshed;
+}
+
 std::vector<geo::Point> user_positions(const model::ProblemInstance& instance) {
   std::vector<geo::Point> positions;
   positions.reserve(instance.user_count());

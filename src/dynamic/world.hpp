@@ -5,6 +5,8 @@
 // positions.
 #pragma once
 
+#include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "geo/point.hpp"
@@ -23,5 +25,39 @@ namespace idde::dynamic {
 /// Initial user positions of an instance (convenience for mobility setup).
 [[nodiscard]] std::vector<geo::Point> user_positions(
     const model::ProblemInstance& instance);
+
+/// Change-tracked instance rebuilds for time-stepped drivers. Keeps a
+/// working copy of the base environment and refreshes channel gains and
+/// coverage sets only for users whose position actually changed since the
+/// previous update (exact coordinate compare — a paused user costs
+/// nothing). Each per-user gain/coverage entry is a pure function of that
+/// user's position, so the tracked environment is bit-identical to a full
+/// `with_user_positions` rebuild, which stays available as the oracle
+/// (tests/test_dynamic.cpp asserts equivalence entry by entry).
+class WorldTracker {
+ public:
+  WorldTracker(const model::ProblemInstance& base,
+               radio::PathLossModel pathloss);
+
+  /// Moves the tracked world to `positions` and rebuilds the instance.
+  /// Returns the number of users whose gains/coverage were recomputed.
+  std::size_t update(const std::vector<geo::Point>& positions);
+
+  /// The instance at the most recent update (initially the base world).
+  [[nodiscard]] const model::ProblemInstance& instance() const noexcept {
+    return *instance_;
+  }
+  [[nodiscard]] const std::vector<geo::Point>& positions() const noexcept {
+    return positions_;
+  }
+
+ private:
+  const model::ProblemInstance* base_;
+  radio::PathLossModel pathloss_;
+  std::vector<geo::Point> positions_;
+  std::vector<model::User> users_;     ///< base users at tracked positions
+  radio::RadioEnvironment env_;        ///< working copy, patched per user
+  std::optional<model::ProblemInstance> instance_;
+};
 
 }  // namespace idde::dynamic

@@ -164,6 +164,14 @@ bool FaultPlan::server_up(std::size_t server, double t) const {
   return !down_at(server_down_[server], t);
 }
 
+void FaultPlan::server_up_mask(std::size_t server_count, double t,
+                               std::vector<std::uint8_t>& mask) const {
+  mask.resize(server_count);
+  for (std::size_t i = 0; i < server_count; ++i) {
+    mask[i] = server_up(i, t) ? 1 : 0;
+  }
+}
+
 bool FaultPlan::link_up(std::size_t a, std::size_t b, double t) const {
   const auto it = link_down_.find(LinkKey{std::min(a, b), std::max(a, b)});
   if (it == link_down_.end()) return true;

@@ -44,6 +44,15 @@ class RetryBudget {
   [[nodiscard]] double tokens() const noexcept { return tokens_; }
   [[nodiscard]] std::size_t denied() const noexcept { return denied_; }
 
+  /// Checkpoint/restore: overwrites the bucket level and denial count with
+  /// values captured from a prior run (bit-identical resume of long-running
+  /// controllers). The config itself is not part of the state — the caller
+  /// reconstructs the budget from the same config first.
+  void restore(double tokens, std::size_t denied) noexcept {
+    tokens_ = tokens;
+    denied_ = denied;
+  }
+
  private:
   RetryBudgetConfig config_;
   double tokens_;

@@ -1,0 +1,107 @@
+#include "serve/checkpoint.hpp"
+
+#include <bit>
+
+#include "util/format.hpp"
+
+namespace idde::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t hash = kFnvOffsetBasis;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a_fold(std::uint64_t hash, std::uint64_t word) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (word >> (byte * 8)) & 0xffULL;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::string u64_to_hex(std::uint64_t value) {
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHexDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t hex_to_u64(std::string_view hex, std::string_view what) {
+  if (hex.size() != 16) {
+    throw util::JsonError(
+        util::format("{}: expected 16 hex digits, got {}", what, hex.size()));
+  }
+  std::uint64_t value = 0;
+  for (const char c : hex) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      throw util::JsonError(
+          util::format("{}: invalid hex digit '{}'", what, c));
+    }
+  }
+  return value;
+}
+
+util::Json double_to_bits(double value) {
+  return util::Json(u64_to_hex(std::bit_cast<std::uint64_t>(value)));
+}
+
+double bits_to_double(const util::Json& value, std::string_view what) {
+  return std::bit_cast<double>(hex_to_u64(value.as_string(), what));
+}
+
+std::string seal_checkpoint(util::Json payload, int indent) {
+  util::JsonObject& object = payload.as_object();
+  object.erase("checksum");
+  object.insert_or_assign("format", util::Json(std::string(kCheckpointFormat)));
+  const std::uint64_t checksum = fnv1a(payload.dump(-1));
+  object.insert_or_assign("checksum", util::Json(u64_to_hex(checksum)));
+  return payload.dump(indent);
+}
+
+util::Json open_checkpoint(std::string_view text) {
+  util::Json payload = util::Json::parse(text);
+  if (!payload.is_object()) {
+    throw util::JsonError("checkpoint: top-level value must be an object");
+  }
+  const util::Json* format = payload.find("format");
+  if (format == nullptr || !format->is_string() ||
+      format->as_string() != kCheckpointFormat) {
+    throw util::JsonError(
+        util::format("checkpoint: unknown format (expected {})",
+                     kCheckpointFormat));
+  }
+  const util::Json* checksum = payload.find("checksum");
+  if (checksum == nullptr || !checksum->is_string()) {
+    throw util::JsonError("checkpoint: missing checksum");
+  }
+  const std::uint64_t recorded =
+      hex_to_u64(checksum->as_string(), "checkpoint checksum");
+  payload.as_object().erase("checksum");
+  const std::uint64_t actual = fnv1a(payload.dump(-1));
+  if (actual != recorded) {
+    throw util::JsonError(util::format(
+        "checkpoint: checksum mismatch (recorded {}, computed {})",
+        u64_to_hex(recorded), u64_to_hex(actual)));
+  }
+  return payload;
+}
+
+}  // namespace idde::serve

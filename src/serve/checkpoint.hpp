@@ -1,0 +1,55 @@
+// Versioned, checksummed checkpoint envelope + bit-exact scalar codecs.
+//
+// Restore must be *bit-identical*: after loading a checkpoint the
+// controller's trajectory hash must evolve exactly as if the process had
+// never stopped. JSON doubles cannot guarantee that (writers round, and
+// u64 counters above 2^53 do not survive a double round-trip), so every
+// checkpointed double and u64 is encoded as the 16-hex-digit bit pattern
+// of its 64-bit representation. The envelope carries a format tag and an
+// FNV-1a checksum over the canonical compact dump of the payload; a
+// truncated, bit-flipped or re-keyed document fails structurally
+// (util::JsonError) instead of restoring a silently wrong world.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/json.hpp"
+
+namespace idde::serve {
+
+inline constexpr std::string_view kCheckpointFormat =
+    "idde-serve-checkpoint-v1";
+
+/// 64-bit FNV-1a over bytes.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view text) noexcept;
+/// Folds one 64-bit word into a running FNV-1a hash (trajectory hashes).
+[[nodiscard]] std::uint64_t fnv1a_fold(std::uint64_t hash,
+                                       std::uint64_t word) noexcept;
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+
+/// 16-hex-digit little-endian-free encoding of a 64-bit word.
+[[nodiscard]] std::string u64_to_hex(std::uint64_t value);
+/// Inverse of u64_to_hex; throws util::JsonError naming `what` on any
+/// malformed input (wrong length, non-hex digit).
+[[nodiscard]] std::uint64_t hex_to_u64(std::string_view hex,
+                                       std::string_view what);
+
+/// Bit-pattern JSON encoding of a double (hex string, exact round-trip).
+[[nodiscard]] util::Json double_to_bits(double value);
+[[nodiscard]] double bits_to_double(const util::Json& value,
+                                    std::string_view what);
+
+/// Stamps `payload` (an object) with the format tag and its checksum and
+/// serialises it. The checksum covers the canonical compact dump of the
+/// payload without the checksum field itself.
+[[nodiscard]] std::string seal_checkpoint(util::Json payload,
+                                          int indent = -1);
+
+/// Parses, verifies the format tag and checksum, and returns the payload
+/// (checksum field removed). Throws util::JsonError on malformed JSON, an
+/// unknown format, or a checksum mismatch.
+[[nodiscard]] util::Json open_checkpoint(std::string_view text);
+
+}  // namespace idde::serve

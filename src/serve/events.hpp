@@ -1,0 +1,41 @@
+// Event vocabulary of the online controller. Events are *derived*, not
+// stored: each tick the controller steps its deterministic processes
+// (mobility, churn, fault plan) and emits the induced events in a fixed
+// order, so the event sequence is a pure function of (config, seed) and
+// never needs to be checkpointed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace idde::serve {
+
+enum class EventKind : std::uint8_t {
+  kServerDown,    ///< subject = server id; allocations and replicas lost
+  kServerUp,      ///< subject = server id; capacity returned
+  kUserLeave,     ///< subject = user id; channel released
+  kUserJoin,      ///< subject = user id; wants an allocation
+  kUserStranded,  ///< subject = user id; walked out of serving coverage
+  kSigmaRefresh,  ///< subject = 0; periodic delivery re-heal
+};
+
+struct Event {
+  EventKind kind = EventKind::kSigmaRefresh;
+  std::size_t subject = 0;
+};
+
+/// Backlog continuation of a repair that ran out of budget (or was
+/// deferred by an open breaker). `deadline_tick` is absolute; a task
+/// still queued past it is shed, not run.
+enum class RepairKind : std::uint8_t {
+  kEquilibrium,  ///< budgeted best-response pass over the allocation
+  kSigma,        ///< budgeted greedy heal of the delivery profile
+};
+
+struct RepairTask {
+  RepairKind kind = RepairKind::kEquilibrium;
+  std::size_t deadline_tick = 0;
+  std::size_t attempts = 0;
+};
+
+}  // namespace idde::serve

@@ -44,6 +44,14 @@ class Xoshiro256 {
     for (auto& word : state_) word = mix.next();
   }
 
+  /// Raw 256-bit state, for checkpoint/restore of long-running streams.
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const noexcept {
+    return state_;
+  }
+  void set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    state_ = state;
+  }
+
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept {
     return std::numeric_limits<result_type>::max();
@@ -75,6 +83,15 @@ class Xoshiro256 {
   }
 
   std::array<std::uint64_t, 4> state_{};
+};
+
+/// Complete serialisable state of an Rng: the Xoshiro words plus the
+/// Marsaglia spare-normal cache. Restoring this state resumes the stream
+/// bit-identically — the contract the serve-layer checkpoints rely on.
+struct RngState {
+  std::array<std::uint64_t, 4> words{};
+  bool has_spare_normal = false;
+  double spare_normal = 0.0;
 };
 
 /// Random helpers bound to one generator. All ranges are validated.
@@ -156,6 +173,16 @@ class Rng {
   }
 
   Xoshiro256& generator() noexcept { return gen_; }
+
+  /// Checkpoint/restore of the full stream state (see RngState).
+  [[nodiscard]] RngState state() const noexcept {
+    return RngState{gen_.state(), has_spare_normal_, spare_normal_};
+  }
+  void set_state(const RngState& state) noexcept {
+    gen_.set_state(state.words);
+    has_spare_normal_ = state.has_spare_normal;
+    spare_normal_ = state.spare_normal;
+  }
 
  private:
   // Lemire-style unbiased bounded draw.

@@ -111,6 +111,117 @@ TEST(World, IdentityPositionsReproduceCoverage) {
   }
 }
 
+TEST(World, TrackerMatchesRebuildOracleBitExactly) {
+  const auto base = model::make_instance(small_params(), 12);
+  const radio::PathLossModel pathloss = radio::PathLossModel::paper_default();
+  const geo::BoundingBox bounds = geo::BoundingBox::square(2000.0);
+  util::Rng rng(12);
+  RandomWaypointModel mobility(dynamic::user_positions(base), bounds,
+                               MobilityParams{}, rng);
+  dynamic::WorldTracker tracker(base, pathloss);
+  for (int step = 0; step < 25; ++step) {
+    mobility.step(1.0, rng);
+    tracker.update(mobility.positions());
+    const auto oracle =
+        dynamic::with_user_positions(base, mobility.positions(), pathloss);
+    const auto& tracked = tracker.instance();
+    for (std::size_t j = 0; j < base.user_count(); ++j) {
+      ASSERT_EQ(tracked.covering_servers(j), oracle.covering_servers(j))
+          << "coverage diverged for user " << j << " at step " << step;
+      for (std::size_t i = 0; i < base.server_count(); ++i) {
+        // Bit-exact, not approximate: the tracker must be a pure caching
+        // layer over the full rebuild.
+        ASSERT_EQ(tracked.radio_env().gain_at(i, j),
+                  oracle.radio_env().gain_at(i, j))
+            << "gain diverged at (" << i << ", " << j << "), step " << step;
+      }
+    }
+  }
+}
+
+TEST(World, TrackerSkipsUnchangedUsers) {
+  const auto base = model::make_instance(small_params(), 13);
+  dynamic::WorldTracker tracker(base,
+                                radio::PathLossModel::paper_default());
+  auto positions = dynamic::user_positions(base);
+  EXPECT_EQ(tracker.update(positions), 0u);  // nobody moved
+  positions[3].x += 25.0;
+  positions[7].y += 10.0;
+  EXPECT_EQ(tracker.update(positions), 2u);  // exactly the movers
+  EXPECT_EQ(tracker.update(positions), 0u);  // settled again
+}
+
+TEST(DynamicSimulation, TrackedRunMatchesRebuildOracleRun) {
+  dynamic::DynamicParams tracked;
+  tracked.base = small_params();
+  tracked.steps = 12;
+  tracked.resolve_period = 4;
+  tracked.churn_enabled = true;
+  tracked.churn.arrival_rate_hz = 1.0 / 20.0;
+  tracked.churn.mean_session_s = 20.0;
+  dynamic::DynamicParams oracle = tracked;
+  oracle.rebuild_oracle = true;
+  const auto a = dynamic::DynamicSimulation(tracked, 21).run();
+  const auto b = dynamic::DynamicSimulation(oracle, 21).run();
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (std::size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].rate_mbps, b.steps[i].rate_mbps);
+    EXPECT_EQ(a.steps[i].latency_ms, b.steps[i].latency_ms);
+    EXPECT_EQ(a.steps[i].handovers, b.steps[i].handovers);
+    EXPECT_EQ(a.steps[i].game_moves, b.steps[i].game_moves);
+  }
+  EXPECT_EQ(a.total_migration_mb, b.total_migration_mb);
+  EXPECT_EQ(a.total_handovers, b.total_handovers);
+}
+
+TEST(RandomWaypoint, RestoreStateResumesIdentically) {
+  const geo::BoundingBox bounds = geo::BoundingBox::square(800.0);
+  std::vector<geo::Point> start{{100, 100}, {400, 400}, {700, 100}};
+  util::Rng rng_a(31);
+  RandomWaypointModel a(start, bounds, MobilityParams{}, rng_a);
+  for (int i = 0; i < 10; ++i) a.step(1.0, rng_a);
+  // Snapshot mid-walk, keep walking, then restore into a fresh model.
+  const auto positions = a.positions();
+  const auto walks = a.walks();
+  const double walked = a.total_distance_m();
+  const util::RngState rng_state = rng_a.state();
+  for (int i = 0; i < 10; ++i) a.step(1.0, rng_a);
+
+  util::Rng rng_b(999);  // deliberately different seed; state is restored
+  RandomWaypointModel b(start, bounds, MobilityParams{}, rng_b);
+  b.restore_state(positions, walks, walked);
+  rng_b.set_state(rng_state);
+  for (int i = 0; i < 10; ++i) b.step(1.0, rng_b);
+  ASSERT_EQ(a.positions().size(), b.positions().size());
+  for (std::size_t j = 0; j < a.positions().size(); ++j) {
+    EXPECT_EQ(a.positions()[j], b.positions()[j]);
+  }
+  EXPECT_EQ(a.total_distance_m(), b.total_distance_m());
+}
+
+TEST(Churn, RestoreMaskRecountsAndResumes) {
+  dynamic::ChurnParams params;
+  params.arrival_rate_hz = 1.0 / 10.0;
+  params.mean_session_s = 10.0;
+  util::Rng rng_a(41);
+  dynamic::ChurnProcess a(64, params, rng_a);
+  for (int i = 0; i < 20; ++i) a.step(1.0, rng_a);
+  const std::vector<bool> mask = a.mask();
+  const util::RngState rng_state = rng_a.state();
+  for (int i = 0; i < 20; ++i) a.step(1.0, rng_a);
+
+  util::Rng rng_b(77);
+  dynamic::ChurnProcess b(64, params, rng_b);
+  b.restore_mask(mask);
+  EXPECT_EQ(b.online_count(),
+            static_cast<std::size_t>(
+                std::count(mask.begin(), mask.end(), true)));
+  rng_b.set_state(rng_state);
+  for (int i = 0; i < 20; ++i) b.step(1.0, rng_b);
+  EXPECT_EQ(a.mask(), b.mask());
+  EXPECT_EQ(a.online_count(), b.online_count());
+}
+
 TEST(Migration, NoChangeNoTraffic) {
   const auto inst = model::make_instance(small_params(), 6);
   util::Rng rng(6);

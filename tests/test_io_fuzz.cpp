@@ -17,6 +17,7 @@
 #include "core/strategy_io.hpp"
 #include "model/instance_builder.hpp"
 #include "model/instance_io.hpp"
+#include "serve/controller.hpp"
 #include "sim/paper.hpp"
 #include "util/json.hpp"
 #include "util/random.hpp"
@@ -160,6 +161,65 @@ TEST(IoFuzz, HostileDocumentsAreRejectedStructurally) {
     EXPECT_THROW((void)model::instance_from_string(text), util::JsonError);
     EXPECT_THROW((void)core::strategy_from_string(instance, text),
                  util::JsonError);
+  }
+}
+
+serve::ServeConfig tiny_serve_config() {
+  serve::ServeConfig config;
+  config.base = sim::paper_default_params();
+  config.base.server_count = 5;
+  config.base.user_count = 14;
+  config.base.data_count = 3;
+  config.churn.arrival_rate_hz = 1.0 / 25.0;
+  config.churn.mean_session_s = 40.0;
+  config.churn.initial_online_fraction = 0.9;
+  config.faults.horizon_s = 100.0;
+  config.faults.server_mtbf_s = 60.0;
+  config.faults.server_mttr_s = 6.0;
+  config.sigma_refresh_period_ticks = 5;
+  return config;
+}
+
+// The serve checkpoint is the highest-stakes document in the repo: a
+// restored controller resumes a live trajectory, so a mutant that slips
+// past validation corrupts serving state instead of a report. Contract:
+// every mutant either restores (benign edit — e.g. whitespace) or throws
+// util::JsonError; never an abort, OOB index, or sanitizer report. Each
+// mutant gets a fresh controller because a failed restore leaves the
+// victim documented-unusable.
+TEST(IoFuzz, MutatedServeCheckpointNeverCrashes) {
+  serve::ServeController source(tiny_serve_config(), 5);
+  for (int step = 0; step < 9; ++step) (void)source.tick();
+  const std::string text = source.checkpoint();
+
+  // Intact round trip first.
+  {
+    serve::ServeController back(tiny_serve_config(), 5);
+    back.restore(text);
+    EXPECT_EQ(back.checkpoint(), text);
+  }
+
+  util::Rng rng(0xf024ULL);
+  for (int i = 0; i < 600; ++i) {
+    serve::ServeController victim(tiny_serve_config(), 5);
+    expect_structured(mutate(text, rng), [&](const std::string& s) {
+      victim.restore(s);
+    });
+  }
+}
+
+TEST(IoFuzz, TruncatedServeCheckpointIsRejectedAtEveryLength) {
+  serve::ServeController source(tiny_serve_config(), 6);
+  for (int step = 0; step < 7; ++step) (void)source.tick();
+  const std::string text = source.checkpoint();
+
+  // Every strict prefix breaks either the JSON grammar or the checksum
+  // envelope; all must throw the structured error.
+  for (std::size_t len = 0; len < text.size();
+       len += 1 + len / 16) {  // dense near 0, sparse later
+    serve::ServeController victim(tiny_serve_config(), 6);
+    EXPECT_THROW(victim.restore(text.substr(0, len)), util::JsonError)
+        << "prefix length " << len;
   }
 }
 

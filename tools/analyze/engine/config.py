@@ -39,9 +39,11 @@ class Config:
         default_factory=lambda: ["src/qos", "src/des"])
     atomic_exempt: list[str] = field(
         default_factory=lambda: ["src/util", "src/obs"])
-    # Determinism and unit-safety packs police shipped library code only.
+    # Determinism, unit-safety, and retry-bound packs police shipped
+    # library code only.
     determinism_scope: list[str] = field(default_factory=lambda: ["src"])
     unit_scope: list[str] = field(default_factory=lambda: ["src"])
+    retry_scope: list[str] = field(default_factory=lambda: ["src"])
 
     # Hot-tagged kernel files: benchmarked allocation-free per move
     # (bench/perf_kernels gates on the warm-call allocation count).

@@ -18,9 +18,9 @@ the catalog.
 
 from __future__ import annotations
 
-from . import concurrency, determinism, legacy, units
+from . import concurrency, determinism, legacy, robustness, units
 
-PACKS = (legacy, concurrency, determinism, units)
+PACKS = (legacy, concurrency, determinism, robustness, units)
 
 ALL_RULES: dict[str, str] = {}
 for _pack in PACKS:

@@ -1,0 +1,28 @@
+// Fixture: retry continuations with no bound anywhere in the file —
+// unbounded-retry fires on the counter increment; the backoff re-enqueue
+// is inline-suppressed and counts as suppressed, not found.
+#include <cstddef>
+
+namespace fixture {
+
+struct Task {
+  std::size_t attempts = 0;
+  double backoff_s = 0.1;
+};
+
+bool submit(Task task);
+void schedule_retry(double delay_s);
+
+void drain(Task task) {
+  while (!submit(task)) {
+    task.attempts += 1;  // finding: nothing caps the loop
+  }
+}
+
+void requeue(Task task) {
+  while (!submit(task)) {
+    schedule_retry(task.backoff_s);  // lint: allow(unbounded-retry)
+  }
+}
+
+}  // namespace fixture

@@ -11,6 +11,11 @@
 //          [--chaos] [--load X] [--policy P] [--out report.json]
 //          Replay through the overload-aware DES (DESIGN.md §12) and print
 //          the SLO accounting; --chaos composes a fault plan on top.
+//   serve  --ticks N --seed S [--restore snap.json] [--checkpoint snap.json]
+//          Run the self-healing online controller (DESIGN.md §15): churn +
+//          mobility + server faults with event-driven equilibrium repair.
+//          --checkpoint writes a checksummed snapshot at the end;
+//          --restore resumes one bit-identically.
 //
 // Run without arguments for usage. Every failure — unreadable file,
 // malformed JSON, bad flag value — exits nonzero with a single structured
@@ -25,6 +30,8 @@
 #include <iostream>
 
 #include "core/metrics.hpp"
+#include "serve/checkpoint.hpp"
+#include "serve/controller.hpp"
 #include "core/strategy_io.hpp"
 #include "core/validation.hpp"
 #include "model/instance_io.hpp"
@@ -249,16 +256,121 @@ int cmd_replay(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_serve(int argc, const char* const* argv) {
+  std::size_t ticks = 60;
+  std::size_t seed = 1;
+  std::size_t servers = 12;
+  std::size_t users = 60;
+  std::size_t data = 4;
+  std::size_t flash_tick = 0;
+  std::size_t threads = 1;
+  std::string restore_path;
+  std::string checkpoint_path;
+  std::string report_path;
+  util::CliParser cli(
+      "idde_tool serve: self-healing online controller (churn + mobility + "
+      "faults, event-driven equilibrium repair)");
+  cli.add_size("ticks", &ticks, "ticks to run (after restore, if any)");
+  cli.add_size("seed", &seed, "trajectory seed");
+  cli.add_size("servers", &servers, "edge server count");
+  cli.add_size("users", &users, "user count");
+  cli.add_size("data", &data, "data item count");
+  cli.add_size("flash-tick", &flash_tick,
+               "inject a mass failure (40% of servers) at this tick (0 = off)");
+  cli.add_size("threads", &threads, "repair solver threads");
+  cli.add_string("restore", &restore_path,
+                 "resume from this checkpoint (must match config + seed)");
+  cli.add_string("checkpoint", &checkpoint_path,
+                 "write the final checkpoint here");
+  cli.add_string("out", &report_path, "write the status report JSON here");
+  if (!cli.parse(argc, argv)) return 0;
+
+  serve::ServeConfig config;
+  config.base = sim::paper_default_params();
+  config.base.server_count = servers;
+  config.base.user_count = users;
+  config.base.data_count = data;
+  config.churn.arrival_rate_hz = 1.0 / 60.0;
+  config.churn.mean_session_s = 120.0;
+  config.churn.initial_online_fraction = 0.9;
+  // Fixed fault-plan horizon, deliberately independent of --ticks: a split
+  // run (checkpoint, then restore with the remaining ticks) must see the
+  // exact fault plan of an uninterrupted run, or the trajectories silently
+  // diverge. Past the horizon every server stays up.
+  config.faults.horizon_s = 3600.0;
+  config.faults.server_mtbf_s = 200.0;
+  config.faults.server_mttr_s = 10.0;
+  config.sigma_refresh_period_ticks = 20;
+  config.solver_threads = threads;
+  if (flash_tick > 0) {
+    config.faults.server_mtbf_s = 0.0;
+    config.flash_failure_tick = flash_tick;
+    config.flash_failure_fraction = 0.4;
+  }
+
+  serve::ServeController controller(config,
+                                    static_cast<std::uint64_t>(seed));
+  if (!restore_path.empty()) {
+    controller.restore(read_file(restore_path));
+    std::printf("restored %s at tick %zu\n", restore_path.c_str(),
+                controller.current_tick());
+  }
+  for (std::size_t step = 0; step < ticks; ++step) {
+    const serve::TickReport report = controller.tick();
+    if (report.events > 0 || report.degraded) {
+      std::printf("tick %zu: events=%zu repairs=%zu backlog=%zu shed=%zu%s%s\n",
+                  report.tick, report.events, report.repairs, report.backlog,
+                  report.shed, report.degraded ? " degraded" : "",
+                  report.breaker_open ? " BREAKER-OPEN" : "");
+    }
+  }
+  const serve::ServeStatus& status = controller.status();
+  std::printf(
+      "serve: %zu ticks, %zu events, %zu repairs (%zu rounds), "
+      "%zu degraded tick(s), %zu strike(s), %zu trip(s), backlog %zu\n"
+      "trajectory hash %016llx\n",
+      status.ticks, status.events_total, status.repairs_total,
+      status.repair_rounds_total, status.degraded_ticks,
+      status.watchdog_strikes, status.breaker_trips,
+      controller.backlog_size(),
+      static_cast<unsigned long long>(controller.trajectory_hash()));
+
+  if (!checkpoint_path.empty()) {
+    write_file(checkpoint_path, controller.checkpoint(1) + "\n");
+    std::printf("wrote %s\n", checkpoint_path.c_str());
+  }
+  if (!report_path.empty()) {
+    util::JsonObject report;
+    report["ticks"] = status.ticks;
+    report["events_total"] = status.events_total;
+    report["repairs_total"] = status.repairs_total;
+    report["repair_rounds_total"] = status.repair_rounds_total;
+    report["degraded_ticks"] = status.degraded_ticks;
+    report["backlog_peak"] = status.backlog_peak;
+    report["shed_total"] = status.shed_total;
+    report["watchdog_strikes"] = status.watchdog_strikes;
+    report["breaker_trips"] = status.breaker_trips;
+    report["lkg_restores"] = status.lkg_restores;
+    report["recovery_ticks"] = status.recovery_ticks;
+    report["backlog"] = controller.backlog_size();
+    report["trajectory_hash"] = serve::u64_to_hex(controller.trajectory_hash());
+    write_file(report_path, util::Json(std::move(report)).dump(1) + "\n");
+    std::printf("wrote %s\n", report_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::puts(
-        "usage: idde_tool <gen|solve|eval|replay> [options]\n"
+        "usage: idde_tool <gen|solve|eval|replay|serve> [options]\n"
         "  gen    materialise an instance from generator params\n"
         "  solve  solve a stored instance with one approach\n"
         "  eval   re-evaluate a stored strategy\n"
         "  replay overload-aware DES replay (admission/retry/breakers)\n"
+        "  serve  self-healing online controller (checkpoint/restore)\n"
         "run a subcommand with --help for its options");
     return 1;
   }
@@ -271,6 +383,7 @@ int main(int argc, char** argv) {
     if (command == "solve") return cmd_solve(argc - 1, argv + 1);
     if (command == "eval") return cmd_eval(argc - 1, argv + 1);
     if (command == "replay") return cmd_replay(argc - 1, argv + 1);
+    if (command == "serve") return cmd_serve(argc - 1, argv + 1);
     std::fprintf(stderr, "idde_tool: error: unknown command '%s'\n",
                  command.c_str());
     return 2;
