@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "figure_common.hpp"
 #include "core/delivery.hpp"
 #include "core/metrics.hpp"
 #include "des/flow_sim.hpp"
@@ -38,37 +39,6 @@
 namespace {
 
 using namespace idde;
-
-struct Profile {
-  const char* name;
-  fault::FaultProfile fault;
-};
-
-std::vector<Profile> make_profiles(bool smoke) {
-  fault::FaultProfile moderate;
-  moderate.horizon_s = 60.0;
-  moderate.server_mtbf_s = 40.0;
-  moderate.server_mttr_s = 6.0;
-  moderate.link_mtbf_s = 30.0;
-  moderate.link_mttr_s = 4.0;
-  moderate.cloud_mtbf_s = 60.0;
-  moderate.cloud_mttr_s = 3.0;
-  moderate.replica_corruption_prob = 0.02;
-
-  fault::FaultProfile severe;
-  severe.horizon_s = 60.0;
-  severe.server_mtbf_s = 12.0;
-  severe.server_mttr_s = 8.0;
-  severe.link_mtbf_s = 10.0;
-  severe.link_mttr_s = 5.0;
-  severe.cloud_mtbf_s = 25.0;
-  severe.cloud_mttr_s = 5.0;
-  severe.replica_corruption_prob = 0.1;
-
-  std::vector<Profile> profiles{{"moderate", moderate}};
-  if (!smoke) profiles.push_back({"severe", severe});
-  return profiles;
-}
 
 /// Acceptance property: a crash of any single server never aborts a run —
 /// every request still resolves via some fallback tier, finitely.
@@ -131,7 +101,7 @@ int main(int argc, char** argv) {
   const model::InstanceParams params = sim::paper_default_params();
   const model::InstanceBuilder builder(params);
   const auto approaches = sim::make_paper_approaches(100.0);
-  const auto profiles = make_profiles(smoke);
+  const auto profiles = bench::make_severity_profiles(smoke);
 
   std::printf("ext_resilience: N=%zu M=%zu K=%zu, %zu rep(s)\n\n",
               params.server_count, params.user_count, params.data_count,
@@ -139,7 +109,7 @@ int main(int argc, char** argv) {
 
   util::JsonArray json_profiles;
   std::size_t crash_fallbacks = 0;
-  for (const Profile& profile : profiles) {
+  for (const bench::SeverityProfile& profile : profiles) {
     util::TextTable table({"approach", "fault-free L_avg (ms)",
                            "degraded (no repair)", "degraded (greedy repair)",
                            "availability", "DES p99 (ms)", "retries"});

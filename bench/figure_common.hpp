@@ -15,13 +15,52 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "fault/fault_plan.hpp"
 #include "sim/paper.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
 #include "util/env.hpp"
 
 namespace idde::bench {
+
+/// One point on the failure-severity axis shared by the resilience-style
+/// benches (ext_resilience, ext_coding): a named FaultProfile.
+struct SeverityProfile {
+  const char* name;
+  fault::FaultProfile fault;
+};
+
+/// The canonical severity grid: "moderate" (occasional outages, light
+/// corruption) and "severe" (overlapping outages, 10% corruption). Smoke
+/// runs keep only "moderate" so CI stays fast. Both benches iterate the
+/// same profiles so their JSON outputs are directly comparable per name.
+inline std::vector<SeverityProfile> make_severity_profiles(bool smoke) {
+  fault::FaultProfile moderate;
+  moderate.horizon_s = 60.0;
+  moderate.server_mtbf_s = 40.0;
+  moderate.server_mttr_s = 6.0;
+  moderate.link_mtbf_s = 30.0;
+  moderate.link_mttr_s = 4.0;
+  moderate.cloud_mtbf_s = 60.0;
+  moderate.cloud_mttr_s = 3.0;
+  moderate.replica_corruption_prob = 0.02;
+
+  fault::FaultProfile severe;
+  severe.horizon_s = 60.0;
+  severe.server_mtbf_s = 12.0;
+  severe.server_mttr_s = 8.0;
+  severe.link_mtbf_s = 10.0;
+  severe.link_mttr_s = 5.0;
+  severe.cloud_mtbf_s = 25.0;
+  severe.cloud_mttr_s = 5.0;
+  severe.replica_corruption_prob = 0.1;
+
+  std::vector<SeverityProfile> profiles{{"moderate", moderate}};
+  if (!smoke) profiles.push_back({"severe", severe});
+  return profiles;
+}
 
 inline int run_figure_set(const sim::PaperSet& set,
                           const std::string& csv_name) {

@@ -41,3 +41,5 @@ idde_bench(ext_overload)
 target_link_libraries(ext_overload PRIVATE idde_des idde_fault idde_qos idde_dynamic)
 idde_bench(ext_serve)
 target_link_libraries(ext_serve PRIVATE idde_serve)
+idde_bench(ext_coding)
+target_link_libraries(ext_coding PRIVATE idde_des idde_fault idde_coding)

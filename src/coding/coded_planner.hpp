@@ -1,0 +1,120 @@
+// Coded Phase 2: greedily add the fragment placement with the highest
+// latency-reduction-per-fragment-MB ratio (the coded Eq. 17) until
+// nothing feasible improves, plus the resume-greedy repair that re-heals
+// a coded sigma after failures.
+//
+// Both planners are ports of core::GreedyDeliveryPlanner /
+// core::RepairPlanner with one structural addition: for k > 1 the gain of
+// a fragment can *grow* as other fragments of the same item land (the
+// k-th-fastest leg shifts), so stale heap keys are no longer upper bounds
+// and the lazy drain can terminate early. After the heap empties the
+// planners rescan all feasible candidates and refill the heap, repeating
+// until a rescan finds nothing — at k = 1 gains are submodular, the first
+// rescan is provably empty, and the final placement set (and every
+// committed move before it) is bit-identical to the replication planner.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "coding/coded_evaluator.hpp"
+#include "coding/coded_profile.hpp"
+#include "coding/fragment.hpp"
+#include "core/strategy.hpp"
+#include "model/instance.hpp"
+
+namespace idde::coding {
+
+struct CodedPlanResult {
+  CodedDeliveryProfile delivery;
+  std::size_t placements = 0;
+  /// Includes the terminating rescan(s) — higher than the replication
+  /// planner's count even at k = 1 (the placements are what must match).
+  std::size_t gain_evaluations = 0;
+  std::size_t rescan_rounds = 0;  ///< refills that found new candidates
+};
+
+/// Non-const plan(): the planner owns reusable scratch (candidate heap,
+/// one CodedDeliveryEvaluator) — rewound per call, never carried between
+/// plans.
+class CodedGreedyPlanner {
+ public:
+  explicit CodedGreedyPlanner(const model::ProblemInstance& instance);
+
+  /// `collaborative` selects full coded Eq. 8 delivery vs the
+  /// local-or-cloud semantics of the non-collaborative baselines — the
+  /// same flag core::Strategy carries.
+  [[nodiscard]] CodedPlanResult plan(const core::AllocationProfile& allocation,
+                                     FragmentConfig config,
+                                     bool collaborative = true);
+
+ private:
+  struct Candidate {
+    double ratio;
+    std::size_t server;
+    std::size_t item;
+
+    bool operator<(const Candidate& other) const {
+      return ratio < other.ratio;  // max-heap on ratio
+    }
+  };
+
+  CodedDeliveryEvaluator& evaluator_for(
+      const core::AllocationProfile& allocation, FragmentConfig config,
+      bool collaborative);
+
+  const model::ProblemInstance* instance_;
+  std::vector<Candidate> heap_;
+  std::optional<CodedDeliveryEvaluator> evaluator_;
+};
+
+struct CodedRepairResult {
+  CodedDeliveryProfile delivery;
+  std::size_t lost_placements = 0;    ///< fragments on dead servers / corrupt
+  std::size_t repair_placements = 0;  ///< new fragments the repair added
+  double recovered_gain_seconds = 0;  ///< total latency the repairs removed
+};
+
+/// Resume-greedy repair of a coded sigma: keep every surviving
+/// (uncorrupted) fragment, drop the rest, and resume the coded greedy on
+/// the surviving servers. Same member-scratch discipline and
+/// max_placements budget semantics as core::RepairPlanner; the k > 1
+/// refill-rescan only runs while budget remains.
+class CodedRepairPlanner {
+ public:
+  explicit CodedRepairPlanner(const model::ProblemInstance& instance);
+
+  /// True when the fragment (server, item) is unreadable even though its
+  /// server is up (silent corruption).
+  using ReplicaLost = std::function<bool(std::size_t, std::size_t)>;
+
+  [[nodiscard]] CodedRepairResult replan(
+      const core::AllocationProfile& allocation,
+      const CodedDeliveryProfile& sigma,
+      std::span<const std::uint8_t> server_up,
+      const ReplicaLost& replica_lost = {}, bool collaborative = true,
+      std::size_t max_placements = std::numeric_limits<std::size_t>::max());
+
+ private:
+  struct Candidate {
+    double ratio;
+    std::size_t server;
+    std::size_t item;
+
+    bool operator<(const Candidate& other) const {
+      return ratio < other.ratio;  // max-heap on ratio
+    }
+  };
+
+  const model::ProblemInstance* instance_;
+  std::vector<Candidate> heap_;
+  std::optional<CodedDeliveryEvaluator> evaluator_;
+  core::AllocationProfile effective_;  ///< outage-masked allocation
+};
+
+}  // namespace idde::coding

@@ -1,0 +1,79 @@
+#include "coding/coded_profile.hpp"
+
+#include "util/assert.hpp"
+
+namespace idde::coding {
+
+CodedDeliveryProfile::CodedDeliveryProfile(
+    const model::ProblemInstance& instance, FragmentConfig config)
+    : instance_(&instance),
+      config_(config),
+      data_count_(instance.data_count()),
+      flags_(instance.server_count() * instance.data_count(), false),
+      hosts_flat_(instance.data_count() * instance.server_count(), 0),
+      host_count_(instance.data_count(), 0) {
+  IDDE_EXPECTS(config.valid());
+  free_kb_.reserve(instance.server_count());
+  for (const model::EdgeServer& s : instance.servers()) {
+    free_kb_.push_back(core::mb_to_kb(s.storage_mb));
+  }
+  frag_kb_.reserve(instance.data_count());
+  frag_mb_.reserve(instance.data_count());
+  for (std::size_t k = 0; k < instance.data_count(); ++k) {
+    const double size_mb = instance.data(k).size_mb;
+    frag_kb_.push_back(fragment_size_kb(size_mb, config.k));
+    frag_mb_.push_back(fragment_size_mb(size_mb, config.k));
+  }
+}
+
+bool CodedDeliveryProfile::can_place(std::size_t server,
+                                     std::size_t item) const {
+  IDDE_EXPECTS(server < free_kb_.size());
+  IDDE_EXPECTS(item < data_count_);
+  if (placed(server, item)) return false;
+  if (host_count_[item] >= config_.n) return false;
+  return frag_kb_[item] <= free_kb_[server];
+}
+
+void CodedDeliveryProfile::place(std::size_t server, std::size_t item) {
+  IDDE_ASSERT(can_place(server, item), "infeasible fragment placement");
+  flags_[server * data_count_ + item] = true;
+  free_kb_[server] -= frag_kb_[item];
+  std::size_t* const seg = hosts_flat_.data() + item * free_kb_.size();
+  std::size_t pos = host_count_[item];
+  while (pos > 0 && seg[pos - 1] > server) {
+    seg[pos] = seg[pos - 1];
+    --pos;
+  }
+  seg[pos] = server;
+  ++host_count_[item];
+  ++count_;
+}
+
+void CodedDeliveryProfile::remove(std::size_t server, std::size_t item) {
+  IDDE_EXPECTS(server < free_kb_.size());
+  IDDE_EXPECTS(item < data_count_);
+  IDDE_ASSERT(placed(server, item), "removing absent fragment");
+  flags_[server * data_count_ + item] = false;
+  free_kb_[server] += frag_kb_[item];
+  std::size_t* const seg = hosts_flat_.data() + item * free_kb_.size();
+  std::size_t pos = 0;
+  while (seg[pos] != server) ++pos;
+  for (std::size_t tail = pos + 1; tail < host_count_[item]; ++tail) {
+    seg[tail - 1] = seg[tail];
+  }
+  --host_count_[item];
+  --count_;
+}
+
+CodedDeliveryProfile CodedDeliveryProfile::restore(
+    const model::ProblemInstance& instance, FragmentConfig config,
+    std::span<const std::pair<std::size_t, std::size_t>> placements) {
+  CodedDeliveryProfile profile(instance, config);
+  for (const auto& [server, item] : placements) {
+    profile.place(server, item);
+  }
+  return profile;
+}
+
+}  // namespace idde::coding

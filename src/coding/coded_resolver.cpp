@@ -1,0 +1,160 @@
+#include "coding/coded_resolver.hpp"
+
+#include <algorithm>
+
+#include "obs/obs.hpp"
+#include "util/assert.hpp"
+
+namespace idde::coding {
+
+namespace {
+
+/// Same per-request telemetry the replication resolver emits — the coded
+/// resolver is the same semantic event (one Eq. 8 resolution).
+void note_resolution(const CodedDecision& decision) {
+  switch (decision.tier) {
+    case core::FallbackTier::kPrimary:
+      IDDE_OBS_COUNT("resolve.primary_total", 1);
+      break;
+    case core::FallbackTier::kReplica:
+      IDDE_OBS_COUNT("resolve.replica_total", 1);
+      break;
+    case core::FallbackTier::kCloud:
+      IDDE_OBS_COUNT("resolve.cloud_total", 1);
+      break;
+  }
+  IDDE_OBS_HISTOGRAM("resolve.latency_ms", decision.seconds * 1e3);
+}
+
+}  // namespace
+
+CodedResolver::CodedResolver(const model::ProblemInstance& instance)
+    : instance_(&instance) {
+  legs_.reserve(instance.server_count());
+  reference_legs_.reserve(instance.server_count());
+  selected_hosts_.reserve(instance.server_count());
+  selected_seconds_.reserve(instance.server_count());
+  set_a_.reserve(instance.server_count());
+  set_b_.reserve(instance.server_count());
+}
+
+double CodedResolver::cloud_topup_seconds(std::size_t fragments, std::size_t k,
+                                          double item_size_mb,
+                                          double fragment_mb) const {
+  if (fragments == 0) return 0.0;
+  // All k fragments == the whole item: use its exact size so the k = 1
+  // cloud fallback is bitwise the replication one.
+  const double mb =
+      fragments == k ? item_size_mb
+                     : fragment_mb * static_cast<double>(fragments);
+  return instance_->latency().cloud_transfer_seconds(mb);
+}
+
+std::size_t CodedResolver::best_edge_count(
+    std::span<const std::size_t> hosts, std::size_t serving,
+    double item_size_mb, double fragment_mb, std::size_t k,
+    std::span<const std::uint8_t> server_up, const net::CostMatrix* costs,
+    std::vector<Leg>& legs, double& best_seconds) {
+  const auto& latency = instance_->latency();
+  legs.clear();
+  for (const std::size_t host : hosts) {
+    if (!server_up.empty() && !server_up[host]) continue;
+    const double cost = costs != nullptr
+                            ? costs->cost(host, serving)
+                            : latency.costs().cost(host, serving);
+    // `legs` is always member scratch (legs_ / reference_legs_) reserved to
+    // server_count in the ctor, and hosts.size() <= server_count.
+    legs.push_back(Leg{cost * fragment_mb, host});  // lint: alloc-ok(reserved member scratch)
+  }
+  // (seconds, host id) order: the e cheapest legs are a deterministic
+  // prefix, and at k = 1 legs[0] is exactly argmin_source's pick.
+  std::sort(legs.begin(), legs.end());
+
+  std::size_t best_e = 0;
+  best_seconds = cloud_topup_seconds(k, k, item_size_mb, fragment_mb);
+  const std::size_t max_e = std::min(legs.size(), k);
+  for (std::size_t e = 1; e <= max_e; ++e) {
+    const double total =
+        std::max(legs[e - 1].seconds,
+                 cloud_topup_seconds(k - e, k, item_size_mb, fragment_mb));
+    if (total < best_seconds) {  // strict: smallest e (most cloud) on ties
+      best_seconds = total;
+      best_e = e;
+    }
+  }
+  return best_e;
+}
+
+CodedDecision CodedResolver::resolve(std::span<const std::size_t> hosts,
+                                     std::size_t serving, double item_size_mb,
+                                     double fragment_mb, std::size_t k,
+                                     std::span<const std::uint8_t> server_up,
+                                     const net::CostMatrix* degraded_costs,
+                                     std::span<const std::size_t>
+                                         fault_free_hosts) {
+  IDDE_EXPECTS(k >= 1);
+  const std::span<const std::size_t> reference =
+      fault_free_hosts.empty() ? hosts : fault_free_hosts;
+  selected_hosts_.clear();
+  selected_seconds_.clear();
+
+  CodedDecision decision;
+  const bool serving_dead = serving != core::ChannelSlot::kNone &&
+                            !server_up.empty() && !server_up[serving];
+  if (serving == core::ChannelSlot::kNone || serving_dead) {
+    // Cloud-only user or dead serving server: no edge leg can be relayed,
+    // so all k fragments (= the whole item) come from the cloud.
+    decision.edge_fragments = 0;
+    decision.cloud_fragments = k;
+    decision.seconds = instance_->latency().cloud_transfer_seconds(item_size_mb);
+    double reference_seconds = 0.0;
+    const std::size_t reference_e =
+        serving == core::ChannelSlot::kNone
+            ? 0
+            : best_edge_count(reference, serving, item_size_mb, fragment_mb, k,
+                              {}, nullptr, reference_legs_, reference_seconds);
+    decision.tier = reference_e == 0 ? core::FallbackTier::kPrimary
+                                     : core::FallbackTier::kCloud;
+    note_resolution(decision);
+    return decision;
+  }
+
+  double reference_seconds = 0.0;
+  const std::size_t reference_e =
+      best_edge_count(reference, serving, item_size_mb, fragment_mb, k, {},
+                      nullptr, reference_legs_, reference_seconds);
+  const std::size_t e =
+      best_edge_count(hosts, serving, item_size_mb, fragment_mb, k, server_up,
+                      degraded_costs, legs_, decision.seconds);
+  decision.edge_fragments = e;
+  decision.cloud_fragments = k - e;
+  for (std::size_t leg = 0; leg < e; ++leg) {
+    selected_hosts_.push_back(legs_[leg].host);
+    selected_seconds_.push_back(legs_[leg].seconds);
+  }
+
+  if (e < reference_e) {
+    // Faults pushed fragments the fault-free plan served from the edge
+    // onto the cloud — the coded analogue of replication's kCloud.
+    decision.tier = core::FallbackTier::kCloud;
+  } else if (e == reference_e) {
+    // Same fragment count: kPrimary iff the same hosts serve it. The two
+    // leg lists are sorted under different cost metrics, so compare as
+    // host-id sets.
+    set_a_.assign(selected_hosts_.begin(), selected_hosts_.end());
+    set_b_.clear();
+    for (std::size_t leg = 0; leg < reference_e; ++leg) {
+      set_b_.push_back(reference_legs_[leg].host);
+    }
+    std::sort(set_a_.begin(), set_a_.end());
+    std::sort(set_b_.begin(), set_b_.end());
+    decision.tier = set_a_ == set_b_ ? core::FallbackTier::kPrimary
+                                     : core::FallbackTier::kReplica;
+  } else {
+    decision.tier = core::FallbackTier::kReplica;
+  }
+  note_resolution(decision);
+  return decision;
+}
+
+}  // namespace idde::coding

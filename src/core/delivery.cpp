@@ -13,25 +13,29 @@ DeliveryProfile::DeliveryProfile(const model::ProblemInstance& instance)
       flags_(instance.server_count() * instance.data_count(), false),
       hosts_flat_(instance.data_count() * instance.server_count(), 0),
       host_count_(instance.data_count(), 0) {
-  free_mb_.reserve(instance.server_count());
+  free_kb_.reserve(instance.server_count());
   for (const model::EdgeServer& s : instance.servers()) {
-    free_mb_.push_back(s.storage_mb);
+    free_kb_.push_back(mb_to_kb(s.storage_mb));
+  }
+  item_kb_.reserve(instance.data_count());
+  for (std::size_t k = 0; k < instance.data_count(); ++k) {
+    item_kb_.push_back(mb_to_kb(instance.data(k).size_mb));
   }
 }
 
 bool DeliveryProfile::can_place(std::size_t server, std::size_t item) const {
-  IDDE_EXPECTS(server < free_mb_.size());
+  IDDE_EXPECTS(server < free_kb_.size());
   IDDE_EXPECTS(item < data_count_);
   if (placed(server, item)) return false;
-  return instance_->data(item).size_mb <= free_mb_[server] + 1e-9;
+  return item_kb_[item] <= free_kb_[server];
 }
 
 void DeliveryProfile::place(std::size_t server, std::size_t item) {
   IDDE_ASSERT(can_place(server, item), "infeasible placement");
   flags_[server * data_count_ + item] = true;
-  free_mb_[server] -= instance_->data(item).size_mb;
+  free_kb_[server] -= item_kb_[item];
   // Shift-insert into the item's arena segment, keeping ids ascending.
-  std::size_t* const seg = hosts_flat_.data() + item * free_mb_.size();
+  std::size_t* const seg = hosts_flat_.data() + item * free_kb_.size();
   std::size_t pos = host_count_[item];
   while (pos > 0 && seg[pos - 1] > server) {
     seg[pos] = seg[pos - 1];
@@ -40,6 +44,23 @@ void DeliveryProfile::place(std::size_t server, std::size_t item) {
   seg[pos] = server;
   ++host_count_[item];
   ++count_;
+}
+
+void DeliveryProfile::remove(std::size_t server, std::size_t item) {
+  IDDE_EXPECTS(server < free_kb_.size());
+  IDDE_EXPECTS(item < data_count_);
+  IDDE_ASSERT(placed(server, item), "removing absent placement");
+  flags_[server * data_count_ + item] = false;
+  free_kb_[server] += item_kb_[item];
+  // Shift-erase from the item's arena segment, keeping ids ascending.
+  std::size_t* const seg = hosts_flat_.data() + item * free_kb_.size();
+  std::size_t pos = 0;
+  while (seg[pos] != server) ++pos;
+  for (std::size_t tail = pos + 1; tail < host_count_[item]; ++tail) {
+    seg[tail - 1] = seg[tail];
+  }
+  --host_count_[item];
+  --count_;
 }
 
 DeliveryProfile DeliveryProfile::restore(
@@ -51,10 +72,9 @@ DeliveryProfile DeliveryProfile::restore(
   for (const auto& [server, item] : placements) {
     profile.place(server, item);
   }
-  // Overwrite the replayed headroom with the recorded bits (see header).
-  for (std::size_t i = 0; i < free_mb.size(); ++i) {
-    profile.free_mb_[i] = free_mb[i];
-  }
+  // Headroom is recomputed by the replay above: the integer-KB ledger is
+  // order-independent, so it already matches the recorded values of any
+  // genuine checkpoint (see header).
   return profile;
 }
 

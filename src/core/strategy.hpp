@@ -4,7 +4,9 @@
 //    tracked together with per-server storage headroom.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <utility>
@@ -20,6 +22,14 @@ using radio::kUnallocated;
 
 /// alpha = {alpha_1 .. alpha_M}; alpha_j = kUnallocated encodes (0,0).
 using AllocationProfile = std::vector<ChannelSlot>;
+
+/// Storage quantum for Eq. 6 accounting: sizes and capacities are tracked
+/// in whole KB (rounded to nearest) so place/remove sequences are exact
+/// integer arithmetic — replaying placements in any order reproduces the
+/// same headroom bit-for-bit, with no float drift.
+[[nodiscard]] inline std::int64_t mb_to_kb(double mb) {
+  return std::llround(mb * 1024.0);
+}
 
 /// sigma = {sigma_{i,k}} with the storage constraint (Eq. 6) enforced at
 /// every mutation. The cloud's implicit replicas (Eq. 7) are not stored.
@@ -39,29 +49,43 @@ class DeliveryProfile {
   /// Sets sigma_{i,k} = 1. Aborts if infeasible — callers must check.
   void place(std::size_t server, std::size_t item);
 
-  /// Remaining reserved space on v_i (MB).
+  /// Clears sigma_{i,k} = 0, returning the item's KB to the server's
+  /// headroom. Aborts if the placement does not exist — callers must
+  /// check placed(). Because accounting is exact integer KB, any
+  /// place/remove sequence leaves headroom identical to recomputing it
+  /// from the surviving placements.
+  void remove(std::size_t server, std::size_t item);
+
+  /// Remaining reserved space on v_i (MB). Derived from the exact KB
+  /// ledger: a pure function of the current placement set.
   [[nodiscard]] double free_mb(std::size_t server) const {
-    return free_mb_[server];
+    return static_cast<double>(free_kb_[server]) / 1024.0;
+  }
+
+  /// Remaining reserved space on v_i in exact KB.
+  [[nodiscard]] std::int64_t free_kb(std::size_t server) const {
+    return free_kb_[server];
   }
 
   /// Servers currently hosting d_k (ascending ids).
   [[nodiscard]] std::span<const std::size_t> hosts(std::size_t item) const {
-    return {hosts_flat_.data() + item * free_mb_.size(), host_count_[item]};
+    return {hosts_flat_.data() + item * free_kb_.size(), host_count_[item]};
   }
 
   [[nodiscard]] std::size_t placement_count() const noexcept { return count_; }
   [[nodiscard]] std::size_t server_count() const noexcept {
-    return free_mb_.size();
+    return free_kb_.size();
   }
   [[nodiscard]] std::size_t data_count() const noexcept { return data_count_; }
 
-  /// Checkpoint/restore: rebuilds a profile from a placement list plus the
-  /// exact per-server headroom of a prior run. place() accumulates
-  /// free_mb by repeated subtraction, so replaying placements in a
-  /// different order can perturb the low bits and flip a later can_place()
-  /// — restoring the recorded headroom verbatim keeps resumed runs
-  /// bit-identical to uninterrupted ones. `free_mb` must have one entry
-  /// per server; placements must be feasible and duplicate-free (checked).
+  /// Checkpoint/restore: rebuilds a profile from a placement list.
+  /// Headroom is recomputed from the placements — integer-KB accounting
+  /// makes replay order-independent, so a restored profile is
+  /// bit-identical to the uninterrupted one regardless of the order the
+  /// placements were recorded in. `free_mb` must have one entry per
+  /// server and is accepted for interface compatibility with recorded
+  /// checkpoints; the recomputed ledger is authoritative. Placements
+  /// must be feasible and duplicate-free (checked).
   [[nodiscard]] static DeliveryProfile restore(
       const model::ProblemInstance& instance,
       std::span<const std::pair<std::size_t, std::size_t>> placements,
@@ -70,8 +94,9 @@ class DeliveryProfile {
  private:
   const model::ProblemInstance* instance_;
   std::size_t data_count_;
-  std::vector<bool> flags_;      // N x K
-  std::vector<double> free_mb_;  // per server
+  std::vector<bool> flags_;             // N x K
+  std::vector<std::int64_t> free_kb_;   // per server, exact KB ledger
+  std::vector<std::int64_t> item_kb_;   // per item, quantized size
   /// Host lists as a flat K x N arena: item k's hosts occupy
   /// hosts_flat_[k*N .. k*N + host_count_[k]), ascending. An item can have
   /// at most N hosts, so the segments never overflow and place() is a

@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "coding/coded_profile.hpp"
 #include "core/delivery.hpp"
 #include "core/strategy.hpp"
 #include "fault/fault_plan.hpp"
@@ -152,6 +153,22 @@ class FlowLevelSimulator {
   /// (unused when arrival_window_s == 0).
   [[nodiscard]] FlowSimResult run(const core::Strategy& strategy,
                                   util::Rng& rng) const;
+
+  /// Replays a coded strategy (flow_sim_coded.cpp): each request's e edge
+  /// fragments become parallel fluid flows from their hosts and the k - e
+  /// cloud fragments one uncontended cloud leg; the request completes when
+  /// the last leg lands. An epoch that kills any leg aborts the whole
+  /// attempt, which retries through the existing backoff / forced-cloud
+  /// machinery. Works with or without a fault plan (the engine is the
+  /// fault-mode one either way). With options_.qos non-inert it composes
+  /// open-loop arrivals, deadline-aware shedding, the retry budget, and
+  /// per-server circuit breakers; slot-based admission queues are not
+  /// modelled for coded flows (service_slots must be 0). At k = 1 under a
+  /// non-inert plan (and no QoS), the result is bit-identical to run() on
+  /// the equivalent replication strategy — same rng draws, same events,
+  /// same floats.
+  [[nodiscard]] FlowSimResult run_coded(const coding::CodedStrategy& strategy,
+                                        util::Rng& rng) const;
 
  private:
   const model::ProblemInstance* instance_;

@@ -1,0 +1,424 @@
+// The coded DES engine: flow-level replay of a k-of-n coded strategy.
+//
+// Every request resolves through the coded Eq. 8 resolver against the
+// epoch it starts in: e parallel fragment flows from the selected edge
+// hosts plus one uncontended cloud leg for the k - e top-up fragments.
+// The request completes when its last leg lands (max over legs). An epoch
+// change that kills *any* routed leg aborts the whole attempt — partial
+// fragment sets cannot reconstruct the item — and the attempt retries
+// with the same capped exponential backoff / forced-cloud machinery as
+// run_with_faults, re-resolving all k fragments from scratch.
+//
+// QoS composition (options_.qos non-inert): open-loop arrivals,
+// deadline-aware shedding of fresh arrivals (optimistic fault-free coded
+// estimate), the global retry-budget bucket, and per-server circuit
+// breakers masked into fragment resolution. Slot-based admission queues
+// are not modelled for coded flows (service_slots must be 0): a coded
+// attempt spans several servers at once, so a single-server slot gate has
+// no faithful coded meaning.
+//
+// k = 1 contract: with a non-inert fault plan and no QoS, every rng draw,
+// event time, tie-break and float matches run_with_faults on the
+// equivalent replication strategy — the records, aggregates and metrics
+// are bit-identical.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "coding/coded_resolver.hpp"
+#include "des/flow_sim.hpp"
+#include "des/fluid.hpp"
+#include "fault/injector.hpp"
+#include "net/shortest_path.hpp"
+#include "obs/obs.hpp"
+#include "qos/arrivals.hpp"
+#include "qos/breaker.hpp"
+#include "qos/retry_budget.hpp"
+#include "util/assert.hpp"
+
+namespace idde::des {
+
+namespace {
+
+using detail::ActiveFlow;
+using detail::assign_max_min_rates;
+
+}  // namespace
+
+FlowSimResult FlowLevelSimulator::run_coded(
+    const coding::CodedStrategy& strategy, util::Rng& rng) const {
+  const model::ProblemInstance& instance = *instance_;
+  IDDE_EXPECTS(strategy.allocation.size() == instance.user_count());
+  IDDE_OBS_SPAN("des.run_coded");
+  const std::size_t frag_k = strategy.delivery.config().k;
+
+  const qos::QosConfig* qos_cfg = options_.qos;
+  const bool qos_active = qos_cfg != nullptr && !qos_cfg->inert();
+  // See header comment: single-server admission slots have no faithful
+  // coded meaning, so a coded run must not configure them.
+  IDDE_EXPECTS(!qos_active || qos_cfg->admission.service_slots == 0);
+  const bool deadline_aware =
+      qos_active &&
+      qos_cfg->admission.policy == qos::SheddingPolicy::kDeadlineAware &&
+      qos_cfg->admission.deadline_s > 0.0;
+  const bool breakers_active = qos_active && !qos_cfg->breaker.inert();
+
+  const fault::FaultPlan inert_plan;  // default-constructed = inert
+  const fault::FaultPlan& plan =
+      options_.fault_plan != nullptr ? *options_.fault_plan : inert_plan;
+  const bool faults = !plan.inert();
+  std::optional<fault::FaultInjector> injector;
+  if (faults) injector.emplace(instance, plan);
+  const bool corruption = faults && plan.replica_corruption_prob() > 0.0;
+
+  FlowSimResult result;
+  // Records in the same user-major order (and with the same rng draws) as
+  // the replication engines, so arrival times match exactly at k = 1.
+  if (!qos_active || qos_cfg->arrivals.inert()) {
+    for (std::size_t j = 0; j < instance.user_count(); ++j) {
+      for (const std::size_t k : instance.requests().items_of(j)) {
+        FlowRecord record;
+        record.user = j;
+        record.item = k;
+        record.arrival_s = options_.arrival_window_s > 0.0
+                               ? rng.uniform(0.0, options_.arrival_window_s)
+                               : 0.0;
+        result.flows.push_back(record);
+      }
+    }
+  } else {
+    for (const qos::Arrival& arrival :
+         qos::generate_arrivals(instance, qos_cfg->arrivals, rng)) {
+      FlowRecord record;
+      record.user = arrival.user;
+      record.item = arrival.item;
+      record.arrival_s = arrival.time_s;
+      result.flows.push_back(record);
+    }
+  }
+  const std::size_t records = result.flows.size();
+
+  coding::CodedResolver resolver(instance);
+  const auto serving_of = [&](std::size_t r) {
+    const core::ChannelSlot slot = strategy.allocation[result.flows[r].user];
+    return slot.allocated() ? slot.server : core::ChannelSlot::kNone;
+  };
+
+  // Optimistic coded service estimate for deadline-aware shedding: the
+  // fault-free coded Eq. 8 value — a lower bound on any real completion.
+  std::vector<double> estimate_s;
+  if (deadline_aware) {
+    estimate_s.assign(records, 0.0);
+    std::vector<std::size_t> ff_hosts;
+    for (std::size_t r = 0; r < records; ++r) {
+      const std::size_t item = result.flows[r].item;
+      const std::size_t serving = serving_of(r);
+      ff_hosts.clear();
+      for (const std::size_t host : strategy.delivery.hosts(item)) {
+        if (!strategy.collaborative_delivery && host != serving) continue;
+        ff_hosts.push_back(host);
+      }
+      estimate_s[r] =
+          resolver
+              .resolve(ff_hosts, serving, instance.data(item).size_mb,
+                       strategy.delivery.item_fragment_mb(item), frag_k)
+              .seconds;
+    }
+  }
+  const auto unmeetable = [&](std::size_t r, double now) {
+    return deadline_aware &&
+           now + estimate_s[r] >
+               result.flows[r].arrival_s + qos_cfg->admission.deadline_s;
+  };
+
+  // Per-record coded attempt state.
+  std::vector<std::size_t> legs_left(records, 0);
+  std::vector<double> cloud_done_s(records, 0.0);
+  /// Edge sources of the in-flight attempt (breaker bookkeeping). Outer
+  /// vector sized once; inner capacity stabilises after the first attempt.
+  std::vector<std::vector<std::size_t>> attempt_sources(records);
+  std::vector<std::uint8_t> started(records, 0);
+
+  std::vector<qos::CircuitBreaker> breakers;
+  if (breakers_active) {
+    breakers.assign(instance.server_count(),
+                    qos::CircuitBreaker(qos_cfg->breaker));
+  }
+  std::optional<qos::RetryBudget> budget;
+  if (qos_active) budget.emplace(qos_cfg->retry_budget);
+
+  // Min-heap on (time, record) — the exact run_with_faults event order.
+  struct Attempt {
+    double time;
+    std::size_t record;
+  };
+  struct AttemptLater {
+    bool operator()(const Attempt& x, const Attempt& y) const {
+      if (x.time != y.time) return x.time > y.time;
+      return x.record > y.record;
+    }
+  };
+  std::priority_queue<Attempt, std::vector<Attempt>, AttemptLater> queue;
+  for (std::size_t r = 0; r < records; ++r) {
+    queue.push(Attempt{result.flows[r].arrival_s, r});
+  }
+
+  std::vector<double> capacities;
+  capacities.reserve(links_.size());
+  for (const Link& link : links_) capacities.push_back(link.capacity_mbps);
+
+  std::vector<std::size_t> degraded_hosts;
+  std::vector<std::size_t> reference_hosts;
+  std::vector<std::uint8_t> up_buf;
+  std::vector<std::size_t> aborted;  // epoch-abort scratch, record ids
+  std::vector<ActiveFlow> active;
+
+  const auto force_cloud = [&](std::size_t r, double now) {
+    FlowRecord& record = result.flows[r];
+    record.forced_cloud = true;
+    record.from_cloud = true;
+    record.local_hit = false;
+    record.tier = core::FallbackTier::kCloud;
+    const double size = instance.data(record.item).size_mb;
+    record.completion_s =
+        plan.cloud_completion(now, instance.latency().cloud_transfer_seconds(size));
+    legs_left[r] = 0;
+  };
+
+  // Starts one coded attempt at `now`: resolves all k fragments, records
+  // a direct completion (all legs local/cloud) or adds the routed legs.
+  const auto start_attempt = [&](std::size_t r, double now) {
+    FlowRecord& record = result.flows[r];
+    record.from_cloud = false;
+    record.local_hit = false;
+    record.hops = 0;
+    const std::size_t serving = serving_of(r);
+    const double size = instance.data(record.item).size_mb;
+    const double frag_mb = strategy.delivery.item_fragment_mb(record.item);
+
+    if (record.retries > options_.max_retries ||
+        now - record.arrival_s > options_.timeout_s) {
+      // Give up on the edge: one final, unabortable cloud transfer.
+      force_cloud(r, now);
+      return;
+    }
+
+    std::span<const std::uint8_t> server_up;
+    const net::CostMatrix* costs = nullptr;
+    const net::Graph* graph = &instance.graph();
+    if (faults) {
+      const fault::AvailabilitySnapshot& snap = injector->snapshot_at(now);
+      server_up = snap.server_up;
+      costs = &snap.costs;
+      graph = &snap.graph;
+    }
+    if (breakers_active) {
+      if (server_up.empty()) {
+        up_buf.assign(instance.server_count(), 1);
+      } else {
+        up_buf.assign(server_up.begin(), server_up.end());
+      }
+      for (std::size_t i = 0; i < up_buf.size(); ++i) {
+        if (!breakers[i].allows(now)) up_buf[i] = 0;
+      }
+      server_up = up_buf;
+    }
+
+    degraded_hosts.clear();
+    reference_hosts.clear();
+    for (const std::size_t host : strategy.delivery.hosts(record.item)) {
+      if (!strategy.collaborative_delivery && host != serving) continue;
+      reference_hosts.push_back(host);
+      if (corruption && plan.replica_corrupted(host, record.item)) continue;
+      degraded_hosts.push_back(host);
+    }
+    const coding::CodedDecision decision =
+        resolver.resolve(degraded_hosts, serving, size, frag_mb, frag_k,
+                         server_up, costs, reference_hosts);
+    record.tier = decision.tier;
+    record.from_cloud = decision.cloud_fragments > 0;
+    cloud_done_s[r] =
+        decision.cloud_fragments > 0
+            ? plan.cloud_completion(
+                  now, resolver.cloud_topup_seconds(decision.cloud_fragments,
+                                                    frag_k, size, frag_mb))
+            : now;
+
+    attempt_sources[r].clear();
+    legs_left[r] = 0;
+    for (const std::size_t host : resolver.selected_hosts()) {
+      attempt_sources[r].push_back(host);
+      if (breakers_active) breakers[host].on_attempt_started(now);
+      if (host == serving) continue;  // local fragment: instant read
+      const net::Route route = net::shortest_route(*graph, host, serving);
+      IDDE_ASSERT(!route.nodes.empty(),
+                  "resolver picked an unreachable fragment host");
+      record.hops = std::max(record.hops, route.hops());
+      ActiveFlow flow;
+      flow.record_index = r;
+      flow.remaining_mb = frag_mb;
+      for (std::size_t s = 0; s + 1 < route.nodes.size(); ++s) {
+        const std::size_t l = link_between(route.nodes[s], route.nodes[s + 1]);
+        IDDE_ASSERT(l != kNoLink, "route uses a missing link");
+        flow.links.push_back(l);
+      }
+      active.push_back(std::move(flow));
+      ++legs_left[r];
+    }
+    if (legs_left[r] == 0) {
+      // No routed legs: local fragments are instant, so the cloud top-up
+      // (now when there is none) is the completion.
+      record.local_hit = decision.cloud_fragments == 0;
+      record.completion_s = cloud_done_s[r];
+      if (breakers_active) {
+        for (const std::size_t host : attempt_sources[r]) {
+          breakers[host].record_success(now);
+        }
+      }
+    }
+  };
+
+  const auto dispatch_attempt = [&](std::size_t r, double now) {
+    if (qos_active && started[r] == 0) {
+      started[r] = 1;
+      budget->on_fresh_arrival();
+      if (unmeetable(r, now)) {
+        result.flows[r].outcome = FlowOutcome::kShed;
+        result.flows[r].completion_s = now;
+        return;
+      }
+    } else if (qos_active && unmeetable(r, now)) {
+      // Already admitted — the unmeetable retry becomes a cloud fetch.
+      force_cloud(r, now);
+      return;
+    }
+    start_attempt(r, now);
+  };
+
+  // One aborted coded attempt: a dead leg invalidates the whole fragment
+  // set, so the record retries (or goes cloud-direct) as a unit.
+  const auto abort_attempt = [&](std::size_t r, double now) {
+    IDDE_OBS_COUNT("des.epoch_aborts_total", 1);
+    FlowRecord& record = result.flows[r];
+    ++record.retries;
+    if (breakers_active) {
+      for (const std::size_t host : attempt_sources[r]) {
+        breakers[host].record_failure(now);
+      }
+    }
+    if (qos_active && !budget->try_spend_retry()) {
+      force_cloud(r, now);
+      return;
+    }
+    const double backoff = std::min(
+        options_.retry_backoff_s *
+            std::ldexp(1.0, static_cast<int>(record.retries) - 1),
+        options_.retry_backoff_max_s);
+    queue.push(Attempt{now + backoff, r});
+  };
+
+  double now = 0.0;
+  while (!active.empty() || !queue.empty()) {
+    if (active.empty()) now = std::max(now, queue.top().time);
+    while (!queue.empty() && queue.top().time <= now) {
+      const Attempt attempt = queue.top();
+      queue.pop();
+      dispatch_attempt(attempt.record, now);
+    }
+    if (active.empty()) continue;  // next queue entry re-anchors `now`
+
+    assign_max_min_rates(active, capacities);
+    ++result.rate_recomputations;
+
+    double dt = std::numeric_limits<double>::infinity();
+    for (const ActiveFlow& flow : active) {
+      IDDE_ASSERT(flow.rate_mbps > 0.0, "starved flow");
+      dt = std::min(dt, flow.remaining_mb / flow.rate_mbps);
+    }
+    if (!queue.empty()) dt = std::min(dt, queue.top().time - now);
+    bool epoch_event = false;
+    if (faults) {
+      // Stop at the next edge-availability change so in-flight legs can
+      // be validated against the new epoch.
+      const double next_epoch = plan.next_edge_change_after(now);
+      epoch_event = next_epoch - now <= dt;
+      if (epoch_event) dt = next_epoch - now;
+    }
+
+    for (ActiveFlow& flow : active) flow.remaining_mb -= flow.rate_mbps * dt;
+    now += dt;
+
+    for (std::size_t f = 0; f < active.size();) {
+      if (active[f].remaining_mb > 1e-9) {
+        ++f;
+        continue;
+      }
+      const std::size_t r = active[f].record_index;
+      active[f] = active.back();
+      active.pop_back();
+      IDDE_ASSERT(legs_left[r] > 0, "leg completion underflow");
+      if (--legs_left[r] == 0) {
+        // Last edge leg landed; the cloud top-up may still be the tail.
+        result.flows[r].completion_s = std::max(now, cloud_done_s[r]);
+        if (breakers_active) {
+          for (const std::size_t host : attempt_sources[r]) {
+            breakers[host].record_success(now);
+          }
+        }
+      }
+    }
+
+    if (epoch_event) {
+      // A record aborts when any of its legs crosses a dead server/link.
+      aborted.clear();
+      for (const ActiveFlow& flow : active) {
+        for (const std::size_t l : flow.links) {
+          if (!plan.server_up(links_[l].a, now) ||
+              !plan.server_up(links_[l].b, now) ||
+              !plan.link_up(links_[l].a, links_[l].b, now)) {
+            aborted.push_back(flow.record_index);
+            break;
+          }
+        }
+      }
+      if (!aborted.empty()) {
+        std::sort(aborted.begin(), aborted.end());
+        aborted.erase(std::unique(aborted.begin(), aborted.end()),
+                      aborted.end());
+        for (std::size_t f = 0; f < active.size();) {
+          if (std::binary_search(aborted.begin(), aborted.end(),
+                                 active[f].record_index)) {
+            active[f] = active.back();
+            active.pop_back();
+          } else {
+            ++f;
+          }
+        }
+        for (const std::size_t r : aborted) {
+          legs_left[r] = 0;
+          abort_attempt(r, now);
+        }
+      }
+    }
+  }
+
+  if (qos_active) {
+    result.qos.retries_denied = budget->denied();
+    for (const qos::CircuitBreaker& breaker : breakers) {
+      result.qos.breaker_opens += breaker.times_opened();
+    }
+    const double window = qos_cfg->arrivals.inert()
+                              ? options_.arrival_window_s
+                              : qos_cfg->arrivals.window_s;
+    finalize(result, qos_cfg->admission.deadline_s, window);
+  } else {
+    finalize(result);
+  }
+  return result;
+}
+
+}  // namespace idde::des

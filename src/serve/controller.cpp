@@ -728,13 +728,13 @@ void ServeController::validate_sigma(
   if (servers.size() != items.size()) {
     throw util::JsonError("checkpoint: sigma server/item length mismatch");
   }
-  // Mirror DeliveryProfile::place feasibility exactly (same tolerance, in
-  // replay order) so a valid checkpoint never trips internal asserts and
-  // a hostile one fails structurally here.
-  std::vector<double> free_mb;
-  free_mb.reserve(base_.server_count());
+  // Mirror DeliveryProfile::place feasibility exactly (same integer-KB
+  // ledger, in replay order) so a valid checkpoint never trips internal
+  // asserts and a hostile one fails structurally here.
+  std::vector<std::int64_t> free_kb;
+  free_kb.reserve(base_.server_count());
   for (const model::EdgeServer& server : base_.servers()) {
-    free_mb.push_back(server.storage_mb);
+    free_kb.push_back(core::mb_to_kb(server.storage_mb));
   }
   std::vector<std::uint8_t> placed(
       base_.server_count() * base_.data_count(), 0);
@@ -746,14 +746,14 @@ void ServeController::validate_sigma(
       throw util::JsonError(util::format(
           "checkpoint: duplicate sigma placement ({}, {})", server, item));
     }
-    const double size = base_.data(item).size_mb;
-    if (size > free_mb[server] + 1e-9) {
+    const std::int64_t size_kb = core::mb_to_kb(base_.data(item).size_mb);
+    if (size_kb > free_kb[server]) {
       throw util::JsonError(util::format(
           "checkpoint: sigma placement ({}, {}) exceeds server storage",
           server, item));
     }
     flag = 1;
-    free_mb[server] -= size;
+    free_kb[server] -= size_kb;
   }
 }
 
@@ -860,9 +860,14 @@ void ServeController::restore(std::string_view checkpoint_text) {
     throw util::JsonError("checkpoint: sigma free_mb size mismatch");
   }
   for (std::size_t i = 0; i < server_count; ++i) {
+    // Capacity bound in the same KB quantization the ledger uses — the
+    // rounded capacity can sit up to half a KB above storage_mb.
+    const double capacity_mb =
+        static_cast<double>(core::mb_to_kb(base_.server(i).storage_mb)) /
+        1024.0;
     if (!std::isfinite(sigma_free_mb_[i]) ||
         sigma_free_mb_[i] < -1e-6 ||
-        sigma_free_mb_[i] > base_.server(i).storage_mb + 1e-6) {
+        sigma_free_mb_[i] > capacity_mb + 1e-6) {
       throw util::JsonError(util::format(
           "checkpoint: sigma free_mb out of range for server {}", i));
     }

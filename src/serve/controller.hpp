@@ -173,10 +173,10 @@ class ServeController {
 
   std::size_t tick_ = 0;
   core::AllocationProfile allocation_;
-  // Sigma as flat placement lists + recorded headroom bits. The recorded
-  // free_mb is authoritative: replaying placements in a different order
-  // perturbs the low bits of the running subtraction, so restore paths
-  // overwrite the replayed headroom verbatim (DeliveryProfile::restore).
+  // Sigma as flat placement lists + recorded headroom. The headroom is
+  // derived: DeliveryProfile keeps an exact integer-KB ledger, so replay
+  // recomputes identical bits in any order. The recorded copy stays in
+  // the checkpoint for auditability and is cross-checked on restore.
   std::vector<std::size_t> sigma_server_;
   std::vector<std::size_t> sigma_item_;
   std::vector<double> sigma_free_mb_;

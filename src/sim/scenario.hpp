@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "coding/fragment.hpp"
 #include "fault/fault_plan.hpp"
 #include "model/instance_builder.hpp"
 #include "util/json.hpp"
@@ -29,6 +30,18 @@ namespace idde::sim {
 
 /// Applies fields present in `json` on top of the (inert) defaults.
 [[nodiscard]] fault::FaultProfile fault_profile_from_json(
+    const util::Json& json);
+
+/// Serialises an erasure-coding config (same conventions as
+/// params_to_json).
+[[nodiscard]] util::Json fragment_config_to_json(
+    const coding::FragmentConfig& config);
+
+/// Applies fields present in `json` on top of the replication default
+/// (n = k = 1). Throws util::JsonError when the resulting config is
+/// invalid (k < 1 or n < k) — a silently clamped code rate would change
+/// every downstream number.
+[[nodiscard]] coding::FragmentConfig fragment_config_from_json(
     const util::Json& json);
 
 }  // namespace idde::sim

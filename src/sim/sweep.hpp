@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "coding/fragment.hpp"
 #include "fault/injector.hpp"
 #include "model/instance_builder.hpp"
 #include "sim/runner.hpp"
@@ -30,6 +31,13 @@ struct CellResult {
   /// SweepOptions::fault_profile is set and non-inert.
   util::Estimate degraded_latency_ms;
   util::Estimate availability;
+  /// Coded columns — populated only when SweepOptions::coding is set.
+  /// Each approach's allocation is re-planned with the coded greedy at the
+  /// requested (n, k); coded_degraded_latency_ms additionally requires a
+  /// non-inert fault profile.
+  util::Estimate coded_latency_ms;
+  util::Estimate coded_degraded_latency_ms;
+  util::Estimate coded_availability;
 };
 
 struct PointResult {
@@ -58,6 +66,12 @@ struct SweepOptions {
   const fault::FaultProfile* fault_profile = nullptr;
   std::uint64_t fault_seed_offset = 0x4a17;
   fault::RepairPolicy repair_policy = fault::RepairPolicy::kNone;
+  /// Optional erasure-coding config (not owned; must outlive the sweep).
+  /// When set, every cell additionally re-plans the approach's allocation
+  /// with the coded greedy at this (n, k) and fills the coded_* columns
+  /// (coded resilience when a fault profile is also active). Null (the
+  /// default) leaves the sweep bit-identical to the replication harness.
+  const coding::FragmentConfig* coding = nullptr;
   /// Progress callback (invoked once per completed point, serialised).
   std::function<void(const PointResult&)> on_point;
 };

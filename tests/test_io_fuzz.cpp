@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "coding/coded_io.hpp"
+#include "coding/coded_planner.hpp"
 #include "core/idde_g.hpp"
 #include "core/strategy_io.hpp"
 #include "model/instance_builder.hpp"
@@ -161,6 +163,52 @@ TEST(IoFuzz, HostileDocumentsAreRejectedStructurally) {
     EXPECT_THROW((void)model::instance_from_string(text), util::JsonError);
     EXPECT_THROW((void)core::strategy_from_string(instance, text),
                  util::JsonError);
+  }
+}
+
+coding::CodedStrategy tiny_coded_strategy(
+    const model::ProblemInstance& instance, std::uint64_t seed) {
+  util::Rng solve_rng(seed);
+  const auto strategy = core::IddeG().solve(instance, solve_rng);
+  coding::CodedGreedyPlanner planner(instance);
+  auto plan = planner.plan(strategy.allocation, {4, 2});
+  coding::CodedStrategy coded(strategy.allocation, std::move(plan.delivery));
+  coded.approach_name = "fuzz";
+  coded.placements = plan.placements;
+  return coded;
+}
+
+// Coded checkpoints carry the (n, k) shape plus fragment placements whose
+// feasibility depends on both — a mutant that silently loads with a wrong
+// k would corrupt every latency downstream. Same contract as the other
+// loaders: round-trip or util::JsonError.
+TEST(IoFuzz, MutatedCodedStrategyNeverCrashes) {
+  const auto instance = model::make_instance(tiny_params(), 11);
+  const auto coded = tiny_coded_strategy(instance, 11);
+  const std::string text = coding::coded_strategy_to_string(coded, -1);
+  // Intact round trip first.
+  const auto back = coding::coded_strategy_from_string(instance, text);
+  EXPECT_EQ(coding::coded_strategy_to_string(back, -1), text);
+
+  util::Rng rng(0xf025ULL);
+  for (int i = 0; i < 3000; ++i) {
+    expect_structured(mutate(text, rng), [&](const std::string& s) {
+      (void)coding::coded_strategy_from_string(instance, s);
+    });
+  }
+}
+
+TEST(IoFuzz, TruncatedCodedStrategyIsRejectedAtEveryLength) {
+  const auto instance = model::make_instance(tiny_params(), 12);
+  const auto coded = tiny_coded_strategy(instance, 12);
+  const std::string text = coding::coded_strategy_to_string(coded, -1);
+  // Every strict prefix breaks the JSON grammar or loses a required
+  // field; all must throw the structured error.
+  for (std::size_t len = 0; len < text.size(); ++len) {
+    EXPECT_THROW(
+        (void)coding::coded_strategy_from_string(instance, text.substr(0, len)),
+        util::JsonError)
+        << "prefix length " << len;
   }
 }
 

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "baselines/allocators.hpp"
 #include "core/delivery.hpp"
@@ -165,6 +167,54 @@ TEST_P(SeededPropertyTest, CloudSpeedScalesCloudOnlyLatency) {
   const double la = core::average_latency_ms(a, none_a, empty_a);
   const double lb = core::average_latency_ms(b, none_a, empty_b);
   EXPECT_NEAR(la, 2.0 * lb, 1e-6);  // half the speed, twice the latency
+}
+
+// Satellite of the coded-placement PR: the integer-KB ledger makes
+// place/remove replay exact. Over 1000 random placement/removal
+// sequences, the live profile's headroom must equal a profile recomputed
+// from the surviving placements alone (restore(), shuffled order) — no
+// float drift, no order dependence.
+TEST(DeliveryLedger, ReplayEqualsRecomputeOverRandomSequences) {
+  const auto inst = model::make_instance(sized(8, 30, 5), 4242);
+  util::Rng rng(0x1ed6e2ULL);
+  for (int sequence = 0; sequence < 1000; ++sequence) {
+    core::DeliveryProfile live(inst);
+    std::vector<std::pair<std::size_t, std::size_t>> placements;
+    const std::size_t steps = 1 + rng.index(60);
+    for (std::size_t step = 0; step < steps; ++step) {
+      const std::size_t i = rng.index(inst.server_count());
+      const std::size_t k = rng.index(inst.data_count());
+      if (live.placed(i, k) && rng.index(3) == 0) {
+        live.remove(i, k);
+        placements.erase(
+            std::find(placements.begin(), placements.end(),
+                      std::make_pair(i, k)));
+      } else if (live.can_place(i, k)) {
+        live.place(i, k);
+        placements.emplace_back(i, k);
+      }
+    }
+    // Shuffle the surviving placements: replay order must not matter.
+    for (std::size_t i = placements.size(); i > 1; --i) {
+      std::swap(placements[i - 1], placements[rng.index(i)]);
+    }
+    std::vector<double> free_mb(inst.server_count());
+    for (std::size_t i = 0; i < inst.server_count(); ++i) {
+      free_mb[i] = live.free_mb(i);
+    }
+    const auto recomputed =
+        core::DeliveryProfile::restore(inst, placements, free_mb);
+    ASSERT_EQ(recomputed.placement_count(), live.placement_count());
+    for (std::size_t i = 0; i < inst.server_count(); ++i) {
+      ASSERT_EQ(recomputed.free_kb(i), live.free_kb(i))
+          << "sequence " << sequence << " server " << i;
+    }
+    for (std::size_t k = 0; k < inst.data_count(); ++k) {
+      const auto a = recomputed.hosts(k);
+      const auto b = live.hosts(k);
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededPropertyTest,

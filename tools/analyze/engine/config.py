@@ -36,7 +36,7 @@ class Config:
     timing_exempt: list[str] = field(
         default_factory=lambda: ["src/util", "src/obs"])
     queue_scoped: list[str] = field(
-        default_factory=lambda: ["src/qos", "src/des"])
+        default_factory=lambda: ["src/qos", "src/des", "src/coding"])
     atomic_exempt: list[str] = field(
         default_factory=lambda: ["src/util", "src/obs"])
     # Determinism, unit-safety, and retry-bound packs police shipped
@@ -53,6 +53,9 @@ class Config:
         "src/radio/batch_eval.hpp",
         "src/core/greedy_delivery.cpp",
         "src/core/repair_planner.cpp",
+        "src/coding/coded_evaluator.cpp",
+        "src/coding/coded_planner.cpp",
+        "src/coding/coded_resolver.cpp",
     ])
 
     # Unit-safety vocabulary. A double/int64 parameter or double-returning
