@@ -23,6 +23,14 @@ FlowLevelSimulator::FlowLevelSimulator(const model::ProblemInstance& instance,
     : instance_(&instance), options_(options) {
   IDDE_EXPECTS(options.link_capacity_scale > 0.0);
   IDDE_EXPECTS(options.arrival_window_s >= 0.0);
+  // The gray/hedged engine does not yet compose with the overload engine:
+  // a non-inert qos config excludes degradation and hedging (and vice
+  // versa), so the two engines can never silently ignore each other.
+  const bool gray_active =
+      (options.degradation != nullptr && !options.degradation->inert()) ||
+      !options.hedge.inert();
+  IDDE_EXPECTS(!gray_active || options.qos == nullptr ||
+               options.qos->inert());
   // Deduplicated undirected link table; parallel edges keep the fastest.
   std::map<std::pair<std::size_t, std::size_t>, double> best;
   const net::Graph& graph = instance.graph();
@@ -57,6 +65,10 @@ FlowSimResult FlowLevelSimulator::run(const core::Strategy& strategy,
   // pre-feature code path (same rng draws, same float ops, same results).
   if (options_.qos != nullptr && !options_.qos->inert()) {
     return run_with_qos(strategy, rng);
+  }
+  if ((options_.degradation != nullptr && !options_.degradation->inert()) ||
+      !options_.hedge.inert()) {
+    return run_hedged(strategy, rng);
   }
   if (options_.fault_plan == nullptr || options_.fault_plan->inert()) {
     return run_fault_free(strategy, rng);

@@ -38,13 +38,48 @@
 
 #include "coding/coded_profile.hpp"
 #include "core/delivery.hpp"
+#include "core/health.hpp"
 #include "core/strategy.hpp"
+#include "fault/degradation.hpp"
 #include "fault/fault_plan.hpp"
 #include "model/instance.hpp"
 #include "qos/config.hpp"
 #include "util/random.hpp"
 
 namespace idde::des {
+
+/// Hedged-delivery policy (the gray-failure engine, flow_sim_hedged.cpp).
+/// A routed edge leg that has not completed by its hedge deadline
+///
+///   deadline = start + max(min_deadline_s,
+///                          deadline_factor * expected_s
+///                              * (health_aware ? score(source) : 1))
+///
+/// launches one speculative backup leg (another replica, or the cloud)
+/// and the request takes the first genuine completion; the losers are
+/// cancelled with their transferred bytes charged to hedge_wasted_mb.
+/// A sick source (low health score) shortens its own deadline, so the
+/// sicker the server the sooner its legs are hedged.
+struct HedgeConfig {
+  bool enabled = false;  ///< launch speculative backup legs
+  /// Hedge deadline as a multiple of the leg's expected (uncontended,
+  /// health-blind) transfer time.
+  double deadline_factor = 8.0;
+  /// Deadline floor, so near-zero expected times cannot hedge instantly.
+  double min_deadline_s = 0.01;
+  /// Speculative backup legs per request.
+  std::size_t max_hedges = 1;
+  /// Route new legs through core::resolve_with_health (demote gray
+  /// servers) and scale hedge deadlines by the source's health score.
+  bool health_aware = false;
+  /// Tracker parameters used when health_aware is set.
+  core::HealthConfig health;
+
+  /// True when the hedged engine adds nothing over the plain replay.
+  [[nodiscard]] bool inert() const noexcept {
+    return !enabled && !health_aware;
+  }
+};
 
 struct FlowSimOptions {
   /// Scale factor on every edge-link capacity (1.0 = the instance's
@@ -71,6 +106,16 @@ struct FlowSimOptions {
   /// Optional overload-protection config (not owned; must outlive the run).
   /// Null or inert = the pre-QoS replay, bit for bit.
   const qos::QosConfig* qos = nullptr;
+
+  /// Optional gray-failure schedule (not owned; must outlive the run):
+  /// routed legs from a degraded server drain at rate / multiplier and may
+  /// be lost (integrity failure on completion). Null or inert = the
+  /// pre-gray replay, bit for bit. Composes with `fault_plan` (a server
+  /// can be slow and later crash); not yet composable with a non-inert
+  /// `qos` config or run_coded (enforced at construction).
+  const fault::DegradationPlan* degradation = nullptr;
+  /// Hedged-delivery / health-aware routing policy (see HedgeConfig).
+  HedgeConfig hedge;
 };
 
 /// What finally happened to one offered arrival.
@@ -99,6 +144,10 @@ struct FlowRecord {
   FlowOutcome outcome = FlowOutcome::kServed;
   double queue_wait_s = 0.0;     ///< admission-queue wait before service
   bool deadline_missed = false;  ///< served, but after the SLO deadline
+  // Gray/hedge-mode diagnostics (defaults describe the unhedged replay).
+  bool hedged = false;        ///< at least one speculative leg was launched
+  bool hedge_won = false;     ///< a speculative leg delivered the request
+  std::size_t losses = 0;     ///< legs lost to gray integrity failures
 };
 
 /// SLO accounting of one run. For a run without an active QosConfig the
@@ -142,6 +191,14 @@ struct FlowSimResult {
   /// Overload/SLO accounting. Trivially consistent (offered == admitted,
   /// zero shed/rejected) for a run without an active QosConfig.
   QosStats qos;
+  // Gray/hedge accounting (all zero outside the hedged engine).
+  std::size_t hedge_launches = 0;   ///< speculative legs launched
+  std::size_t hedge_wins = 0;       ///< requests delivered by a hedge leg
+  std::size_t hedge_cancelled = 0;  ///< legs cancelled after losing a race
+  std::size_t loss_aborts = 0;      ///< legs lost to gray integrity failures
+  /// Exact bytes transferred by legs that did not deliver their request:
+  /// race losers' partial transfers plus lost legs' full sizes.
+  double hedge_wasted_mb = 0.0;
 };
 
 class FlowLevelSimulator {
@@ -192,6 +249,11 @@ class FlowLevelSimulator {
   /// retry budget + breakers, composed with an optional fault plan.
   [[nodiscard]] FlowSimResult run_with_qos(const core::Strategy& strategy,
                                            util::Rng& rng) const;
+  /// The gray-failure engine (flow_sim_hedged.cpp): degradation-scaled
+  /// fluid rates, per-leg loss lottery, health-aware source selection and
+  /// hedged backup legs, composed with an optional fault plan.
+  [[nodiscard]] FlowSimResult run_hedged(const core::Strategy& strategy,
+                                         util::Rng& rng) const;
   /// `deadline_s` > 0 enables goodput/deadline accounting; `window_s` is
   /// the offered-load period the rates are normalised by (0 = makespan).
   static void finalize(FlowSimResult& result, double deadline_s = 0.0,

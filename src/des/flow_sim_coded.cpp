@@ -54,6 +54,11 @@ FlowSimResult FlowLevelSimulator::run_coded(
   const model::ProblemInstance& instance = *instance_;
   IDDE_EXPECTS(strategy.allocation.size() == instance.user_count());
   IDDE_OBS_SPAN("des.run_coded");
+  // The coded engine does not model gray degradation or hedged legs yet;
+  // reject the combination instead of silently ignoring the plan.
+  IDDE_EXPECTS(options_.degradation == nullptr ||
+               options_.degradation->inert());
+  IDDE_EXPECTS(options_.hedge.inert());
   const std::size_t frag_k = strategy.delivery.config().k;
 
   const qos::QosConfig* qos_cfg = options_.qos;

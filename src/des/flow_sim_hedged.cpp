@@ -1,0 +1,517 @@
+// The gray-failure DES engine: degradation-scaled fluid rates, a per-leg
+// loss lottery, health-aware source selection and hedged backup legs.
+//
+// Structure mirrors run_with_faults (flow_sim.cpp): records are created
+// user-major with the same rng arrival draws, attempts sit in a
+// deterministic (time, record) min-heap, and epoch boundaries of an
+// optional binary FaultPlan abort in-flight legs exactly as before. On
+// top of that:
+//
+//   gray slowness   a leg from server i launched at time t drains at
+//                   rate / multiplier(i, t). The multiplier is sampled at
+//                   launch (transfers are short relative to gray ramps)
+//                   and the leg still occupies its full max-min share of
+//                   every link — a deliberately conservative model: a slow
+//                   *server* does not free up the *network*.
+//   gray loss       each leg draws a stateless loss lottery at launch; a
+//                   lost leg transfers fully, then fails its integrity
+//                   check — bytes burned, no delivery (checksum model).
+//   health          genuine completions and losses feed a HealthTracker;
+//                   with hedge.health_aware, new legs resolve through
+//                   core::resolve_with_health (gray sources demoted) and
+//                   a source's hedge deadline shrinks with its score.
+//   hedging         a routed leg passing its deadline launches one backup
+//                   leg from the best source not already in flight (or
+//                   the cloud). First genuine completion wins; the losers
+//                   are cancelled and their bytes charged to
+//                   hedge_wasted_mb. Cloud legs and local hits never lose.
+//
+// Determinism: single-threaded, no wall clock; every tie-break is on
+// (time, record id) or (time, leg id) where leg ids are assigned in
+// deterministic launch order.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <span>
+
+#include "des/flow_sim.hpp"
+#include "des/fluid.hpp"
+#include "fault/injector.hpp"
+#include "net/shortest_path.hpp"
+#include "obs/obs.hpp"
+#include "util/assert.hpp"
+
+namespace idde::des {
+
+using detail::assign_max_min_rates;
+
+namespace {
+
+/// One in-flight routed leg. Extends detail::ActiveFlow's shape (the
+/// water-filling template only needs `links` + `rate_mbps`).
+struct HedgedLeg {
+  std::size_t record_index = 0;
+  double remaining_mb = 0.0;
+  std::vector<std::size_t> links;
+  double rate_mbps = 0.0;
+  // Hedged extras.
+  std::size_t leg_id = 0;
+  std::size_t source = 0;
+  double start_s = 0.0;
+  double expected_s = 0.0;  ///< unweighted resolver seconds at launch
+  double rate_scale = 1.0;  ///< 1 / gray latency multiplier at launch
+  double size_mb = 0.0;
+  bool lost = false;  ///< drawn at launch, detected at transfer end
+  bool is_hedge = false;
+  core::FallbackTier tier = core::FallbackTier::kPrimary;
+};
+
+/// One in-flight cloud leg (uncontended, reliable, not hedgeable-against
+/// by loss — but it can lose the race to an edge leg).
+struct CloudLeg {
+  std::size_t record_index = 0;
+  std::size_t leg_id = 0;
+  double start_s = 0.0;
+  double completion_s = 0.0;
+  bool is_hedge = false;
+  bool alive = true;
+  core::FallbackTier tier = core::FallbackTier::kCloud;
+  bool forced = false;
+};
+
+struct TimedEvent {
+  double time;
+  std::size_t id;  ///< record for attempts, leg for deadlines
+};
+struct EventLater {
+  bool operator()(const TimedEvent& x, const TimedEvent& y) const {
+    if (x.time != y.time) return x.time > y.time;
+    return x.id > y.id;
+  }
+};
+using EventQueue =
+    std::priority_queue<TimedEvent, std::vector<TimedEvent>, EventLater>;
+
+}  // namespace
+
+FlowSimResult FlowLevelSimulator::run_hedged(const core::Strategy& strategy,
+                                             util::Rng& rng) const {
+  IDDE_OBS_SPAN("des.run_hedged");
+  const model::ProblemInstance& instance = *instance_;
+  IDDE_EXPECTS(strategy.allocation.size() == instance.user_count());
+  IDDE_EXPECTS(options_.hedge.deadline_factor > 0.0);
+  IDDE_EXPECTS(options_.hedge.min_deadline_s >= 0.0);
+
+  const fault::DegradationPlan* gray =
+      options_.degradation != nullptr && !options_.degradation->inert()
+          ? options_.degradation
+          : nullptr;
+  const fault::FaultPlan* fplan =
+      options_.fault_plan != nullptr && !options_.fault_plan->inert()
+          ? options_.fault_plan
+          : nullptr;
+  const bool corruption =
+      fplan != nullptr && fplan->replica_corruption_prob() > 0.0;
+  const HedgeConfig& hedge = options_.hedge;
+
+  std::optional<fault::FaultInjector> injector;
+  if (fplan != nullptr) injector.emplace(instance, *fplan);
+
+  core::HealthTracker health(instance.server_count(), hedge.health);
+  const core::HealthTracker* health_view =
+      hedge.health_aware ? &health : nullptr;
+
+  FlowSimResult result;
+  // Same user-major record order and rng arrival draws as every other
+  // engine, so arrival times are comparable run to run.
+  for (std::size_t j = 0; j < instance.user_count(); ++j) {
+    for (const std::size_t k : instance.requests().items_of(j)) {
+      FlowRecord record;
+      record.user = j;
+      record.item = k;
+      record.arrival_s = options_.arrival_window_s > 0.0
+                             ? rng.uniform(0.0, options_.arrival_window_s)
+                             : 0.0;
+      result.flows.push_back(record);
+    }
+  }
+
+  std::vector<double> capacities;
+  capacities.reserve(links_.size());
+  for (const Link& link : links_) capacities.push_back(link.capacity_mbps);
+
+  EventQueue attempts;   // id = record index
+  EventQueue deadlines;  // id = leg id (lazily invalidated)
+  for (std::size_t r = 0; r < result.flows.size(); ++r) {
+    attempts.push(TimedEvent{result.flows[r].arrival_s, r});
+  }
+
+  std::vector<HedgedLeg> active;     // routed legs (water-filled)
+  std::vector<CloudLeg> cloud_legs;  // compacted when all retire
+  const std::size_t record_count = result.flows.size();
+  std::vector<std::uint8_t> done(record_count, 0);
+  std::vector<std::size_t> legs_alive(record_count, 0);
+  std::vector<std::size_t> hedges_launched(record_count, 0);
+  std::vector<std::size_t> leg_seq(record_count, 0);  // loss-lottery index
+  std::size_t next_leg_id = 0;
+  std::size_t cloud_alive = 0;
+
+  std::vector<std::size_t> degraded_hosts;
+  std::vector<std::size_t> reference_hosts;
+  std::vector<std::uint8_t> up_buf;
+
+  // --- leg bookkeeping -----------------------------------------------
+
+  // Cancels every other leg racing for `r` after a genuine completion:
+  // race losers burn their transferred bytes.
+  const auto cancel_siblings = [&](std::size_t r, std::size_t winner_leg,
+                                   double now) {
+    for (std::size_t f = 0; f < active.size();) {
+      if (active[f].record_index != r || active[f].leg_id == winner_leg) {
+        ++f;
+        continue;
+      }
+      ++result.hedge_cancelled;
+      result.hedge_wasted_mb += active[f].size_mb - active[f].remaining_mb;
+      --legs_alive[r];
+      active[f] = active.back();
+      active.pop_back();
+    }
+    for (CloudLeg& leg : cloud_legs) {
+      if (!leg.alive || leg.record_index != r || leg.leg_id == winner_leg) {
+        continue;
+      }
+      ++result.hedge_cancelled;
+      // Cloud legs are uncontended: bytes transfer pro rata over the leg.
+      const double duration = leg.completion_s - leg.start_s;
+      const double elapsed = now - leg.start_s;
+      const double size = instance.data(result.flows[r].item).size_mb;
+      if (duration > 0.0) {
+        result.hedge_wasted_mb +=
+            size * std::clamp(elapsed / duration, 0.0, 1.0);
+      }
+      leg.alive = false;
+      --cloud_alive;
+      --legs_alive[r];
+    }
+  };
+
+  // A genuine completion: first one wins the record.
+  const auto complete = [&](std::size_t r, std::size_t leg_id, double now,
+                            core::FallbackTier tier, bool from_cloud,
+                            bool local_hit, bool is_hedge, bool forced,
+                            std::size_t hops) {
+    FlowRecord& record = result.flows[r];
+    done[r] = 1;
+    record.completion_s = now;
+    record.tier = tier;
+    record.from_cloud = from_cloud;
+    record.local_hit = local_hit;
+    record.forced_cloud = forced;
+    record.hops = hops;
+    if (is_hedge) {
+      record.hedge_won = true;
+      ++result.hedge_wins;
+    }
+    cancel_siblings(r, leg_id, now);
+  };
+
+  // Retries `r` with capped exponential backoff (only reached when the
+  // record has no other leg racing).
+  const auto retry = [&](std::size_t r, double now) {
+    FlowRecord& record = result.flows[r];
+    ++record.retries;
+    const double backoff =
+        std::min(options_.retry_backoff_s *
+                     std::ldexp(1.0, static_cast<int>(record.retries) - 1),
+                 options_.retry_backoff_max_s);
+    attempts.push(TimedEvent{now + backoff, r});
+  };
+
+  // --- leg launch ----------------------------------------------------
+
+  // Launches one leg for `r` at `now`. `exclude` masks sources already in
+  // flight for this record (hedge launches only). Returns false when the
+  // request completed instantly (local hit).
+  const auto launch_leg = [&](std::size_t r, double now, bool is_hedge,
+                              const std::vector<std::size_t>& exclude) {
+    FlowRecord& record = result.flows[r];
+    const core::ChannelSlot slot = strategy.allocation[record.user];
+    const std::size_t serving =
+        slot.allocated() ? slot.server : core::ChannelSlot::kNone;
+    const double size = instance.data(record.item).size_mb;
+    const double cloud_seconds =
+        instance.latency().cloud_transfer_seconds(size);
+
+    const bool timed_out = record.retries > options_.max_retries ||
+                           now - record.arrival_s > options_.timeout_s;
+    if (timed_out && !is_hedge) {
+      // Give up on the edge: one final, unabortable cloud transfer.
+      CloudLeg leg;
+      leg.record_index = r;
+      leg.leg_id = next_leg_id++;
+      leg.start_s = now;
+      leg.completion_s = fplan != nullptr
+                             ? fplan->cloud_completion(now, cloud_seconds)
+                             : now + cloud_seconds;
+      leg.is_hedge = false;
+      leg.tier = core::FallbackTier::kCloud;
+      leg.forced = true;
+      cloud_legs.push_back(leg);
+      ++cloud_alive;
+      ++legs_alive[r];
+      return;
+    }
+
+    const fault::AvailabilitySnapshot* snap =
+        injector ? &injector->snapshot_at(now) : nullptr;
+    degraded_hosts.clear();
+    reference_hosts.clear();
+    for (const std::size_t host : strategy.delivery.hosts(record.item)) {
+      if (!strategy.collaborative_delivery && host != serving) continue;
+      reference_hosts.push_back(host);
+      if (corruption && fplan->replica_corrupted(host, record.item)) continue;
+      if (std::find(exclude.begin(), exclude.end(), host) != exclude.end()) {
+        continue;  // a leg from this source is already racing
+      }
+      degraded_hosts.push_back(host);
+    }
+    const std::span<const std::uint8_t> up =
+        snap != nullptr ? std::span<const std::uint8_t>(snap->server_up)
+                        : std::span<const std::uint8_t>{};
+    const net::CostMatrix* costs = snap != nullptr ? &snap->costs : nullptr;
+    const core::FailoverDecision decision = core::resolve_with_health(
+        instance, degraded_hosts, serving, size, health_view, up, costs,
+        reference_hosts);
+
+    if (decision.source == core::kCloudSource) {
+      CloudLeg leg;
+      leg.record_index = r;
+      leg.leg_id = next_leg_id++;
+      leg.start_s = now;
+      leg.completion_s =
+          fplan != nullptr ? fplan->cloud_completion(now, decision.seconds)
+                           : now + decision.seconds;
+      leg.is_hedge = is_hedge;
+      leg.tier = decision.tier;
+      cloud_legs.push_back(leg);
+      ++cloud_alive;
+      ++legs_alive[r];
+      return;
+    }
+    if (decision.source == serving) {
+      // Local hit: instant, loss-exempt (no network leg to corrupt).
+      complete(r, next_leg_id++, now, decision.tier, false, true, is_hedge,
+               false, 0);
+      return;
+    }
+
+    const net::Route route =
+        net::shortest_route(snap != nullptr ? snap->graph : instance.graph(),
+                            decision.source, serving);
+    IDDE_ASSERT(!route.nodes.empty(),
+                "resolver picked an unreachable replica");
+    HedgedLeg leg;
+    leg.record_index = r;
+    leg.leg_id = next_leg_id++;
+    leg.source = decision.source;
+    leg.start_s = now;
+    leg.expected_s = decision.seconds;
+    leg.size_mb = size;
+    leg.remaining_mb = size;
+    leg.tier = decision.tier;
+    leg.is_hedge = is_hedge;
+    if (gray != nullptr) {
+      const double multiplier = gray->latency_multiplier(decision.source, now);
+      leg.rate_scale = 1.0 / multiplier;
+      leg.lost = gray->leg_lost(decision.source, r, leg_seq[r], now);
+    }
+    ++leg_seq[r];
+    for (std::size_t s = 0; s + 1 < route.nodes.size(); ++s) {
+      const std::size_t l = link_between(route.nodes[s], route.nodes[s + 1]);
+      IDDE_ASSERT(l != kNoLink, "route uses a missing link");
+      leg.links.push_back(l);
+    }
+    if (hedge.enabled && hedges_launched[r] < hedge.max_hedges &&
+        leg.expected_s > 0.0) {
+      double factor = hedge.deadline_factor;
+      if (hedge.health_aware) factor *= health.score(decision.source);
+      const double wait = std::max(hedge.min_deadline_s,
+                                   factor * leg.expected_s);
+      deadlines.push(TimedEvent{now + wait, leg.leg_id});
+    }
+    ++legs_alive[r];
+    active.push_back(std::move(leg));
+  };
+
+  const auto start_attempt = [&](std::size_t r, double now) {
+    if (done[r] != 0 || legs_alive[r] > 0) return;  // a hedge already won
+    launch_leg(r, now, /*is_hedge=*/false, {});
+  };
+
+  // --- main event loop -----------------------------------------------
+
+  double now = 0.0;
+  std::vector<std::size_t> exclude;
+  while (!active.empty() || cloud_alive > 0 || !attempts.empty()) {
+    if (active.empty() && cloud_alive == 0) {
+      now = std::max(now, attempts.top().time);
+    }
+    while (!attempts.empty() && attempts.top().time <= now) {
+      const TimedEvent e = attempts.top();
+      attempts.pop();
+      start_attempt(e.id, now);
+    }
+    if (active.empty() && cloud_alive == 0) continue;  // re-anchor `now`
+
+    assign_max_min_rates(active, capacities);
+    ++result.rate_recomputations;
+
+    // Next event horizon: routed completion, cloud completion, attempt,
+    // hedge deadline, or a binary epoch boundary.
+    double dt = std::numeric_limits<double>::infinity();
+    for (const HedgedLeg& leg : active) {
+      IDDE_ASSERT(leg.rate_mbps > 0.0, "starved leg");
+      dt = std::min(dt, leg.remaining_mb / (leg.rate_mbps * leg.rate_scale));
+    }
+    for (const CloudLeg& leg : cloud_legs) {
+      if (leg.alive) dt = std::min(dt, leg.completion_s - now);
+    }
+    if (!attempts.empty()) dt = std::min(dt, attempts.top().time - now);
+    if (!deadlines.empty()) dt = std::min(dt, deadlines.top().time - now);
+    bool epoch_event = false;
+    if (fplan != nullptr) {
+      const double next_epoch = fplan->next_edge_change_after(now);
+      if (next_epoch - now <= dt) {
+        dt = next_epoch - now;
+        epoch_event = true;
+      }
+    }
+    dt = std::max(dt, 0.0);
+
+    for (HedgedLeg& leg : active) {
+      leg.remaining_mb -= leg.rate_mbps * leg.rate_scale * dt;
+    }
+    now += dt;
+
+    // Routed-leg transfer ends: genuine completion or detected loss.
+    for (std::size_t f = 0; f < active.size();) {
+      HedgedLeg& leg = active[f];
+      if (leg.remaining_mb > 1e-9) {
+        ++f;
+        continue;
+      }
+      const std::size_t r = leg.record_index;
+      if (leg.lost) {
+        // Full transfer, failed integrity check: bytes burned.
+        IDDE_OBS_COUNT("des.gray_losses_total", 1);
+        ++result.loss_aborts;
+        ++result.flows[r].losses;
+        result.hedge_wasted_mb += leg.size_mb;
+        health.record_loss(leg.source);
+        --legs_alive[r];
+        const bool last_leg = legs_alive[r] == 0 && done[r] == 0;
+        active[f] = active.back();
+        active.pop_back();
+        if (last_leg) retry(r, now);
+        continue;
+      }
+      if (leg.expected_s > 0.0) {
+        health.record_leg(leg.source, leg.expected_s, now - leg.start_s);
+      }
+      const std::size_t winner = leg.leg_id;
+      const core::FallbackTier tier = leg.tier;
+      const bool is_hedge = leg.is_hedge;
+      const std::size_t hops = leg.links.size();
+      --legs_alive[r];
+      active[f] = active.back();
+      active.pop_back();
+      if (done[r] == 0) {
+        complete(r, winner, now, tier, false, false, is_hedge, false, hops);
+        // cancel_siblings swap-removes at arbitrary positions, which can
+        // move an unvisited completed leg behind the cursor — restart.
+        f = 0;
+      }
+    }
+
+    // Cloud completions (reliable, but they can still lose the race —
+    // cancel_siblings above marks them dead before they land).
+    bool any_cloud_retired = false;
+    for (CloudLeg& leg : cloud_legs) {
+      if (!leg.alive || leg.completion_s > now) continue;
+      leg.alive = false;
+      --cloud_alive;
+      --legs_alive[leg.record_index];
+      any_cloud_retired = true;
+      if (done[leg.record_index] == 0) {
+        complete(leg.record_index, leg.leg_id, now, leg.tier, true, false,
+                 leg.is_hedge, leg.forced, 0);
+      }
+    }
+    if (any_cloud_retired && cloud_alive == 0) cloud_legs.clear();
+
+    // Hedge deadlines: a still-running routed leg past its deadline
+    // launches one backup leg from a source not already in flight.
+    while (!deadlines.empty() && deadlines.top().time <= now) {
+      const TimedEvent e = deadlines.top();
+      deadlines.pop();
+      const auto it = std::find_if(
+          active.begin(), active.end(),
+          [&](const HedgedLeg& leg) { return leg.leg_id == e.id; });
+      if (it == active.end()) continue;  // leg already resolved: stale event
+      const std::size_t r = it->record_index;
+      if (done[r] != 0 || hedges_launched[r] >= hedge.max_hedges) continue;
+      ++hedges_launched[r];
+      ++result.hedge_launches;
+      result.flows[r].hedged = true;
+      IDDE_OBS_COUNT("des.hedge_launches_total", 1);
+      exclude.clear();
+      for (const HedgedLeg& leg : active) {
+        if (leg.record_index == r) exclude.push_back(leg.source);
+      }
+      launch_leg(r, now, /*is_hedge=*/true, exclude);
+    }
+
+    if (epoch_event) {
+      // Abort routed legs whose path died (same policy as
+      // run_with_faults); a sole leg retries with backoff, a racing leg
+      // just drops out of the race.
+      for (std::size_t f = 0; f < active.size();) {
+        bool dead = false;
+        for (const std::size_t l : active[f].links) {
+          if (!fplan->server_up(links_[l].a, now) ||
+              !fplan->server_up(links_[l].b, now) ||
+              !fplan->link_up(links_[l].a, links_[l].b, now)) {
+            dead = true;
+            break;
+          }
+        }
+        if (!dead) {
+          ++f;
+          continue;
+        }
+        IDDE_OBS_COUNT("des.epoch_aborts_total", 1);
+        const std::size_t r = active[f].record_index;
+        --legs_alive[r];
+        const bool had_siblings = legs_alive[r] > 0 || done[r] != 0;
+        if (had_siblings) {
+          ++result.hedge_cancelled;
+          result.hedge_wasted_mb +=
+              active[f].size_mb - active[f].remaining_mb;
+        }
+        active[f] = active.back();
+        active.pop_back();
+        if (!had_siblings) retry(r, now);
+      }
+    }
+  }
+
+  finalize(result);
+  IDDE_OBS_COUNT("des.hedge_wins_total", result.hedge_wins);
+  IDDE_OBS_COUNT("des.hedge_cancelled_total", result.hedge_cancelled);
+  return result;
+}
+
+}  // namespace idde::des

@@ -151,6 +151,11 @@ FlowSimResult FlowLevelSimulator::run_with_qos(const core::Strategy& strategy,
   }
   std::vector<std::size_t> attempt_source(records, core::ChannelSlot::kNone);
   std::vector<std::uint8_t> holds_slot(records, 0);
+  // Start time and uncontended expected seconds of the current routed
+  // attempt — the breaker's sustained-latency (slow_ratio) trip compares
+  // observed against expected at completion.
+  std::vector<double> attempt_start(records, 0.0);
+  std::vector<double> attempt_expected(records, 0.0);
 
   // --- QoS machinery ----------------------------------------------------
   std::vector<std::size_t> in_service(servers, 0);
@@ -250,6 +255,8 @@ FlowSimResult FlowLevelSimulator::run_with_qos(const core::Strategy& strategy,
         instance, eligible_hosts, serving, size, server_up, costs);
     record.tier = decision.tier;
     attempt_source[r] = decision.source;
+    attempt_start[r] = now;
+    attempt_expected[r] = decision.seconds;
 
     if (decision.source == core::kCloudSource) {
       record.from_cloud = true;
@@ -485,7 +492,12 @@ FlowSimResult FlowLevelSimulator::run_with_qos(const core::Strategy& strategy,
         continue;
       }
       result.flows[r].completion_s = now;
-      breakers[attempt_source[r]].record_success(now);
+      // With slow_ratio configured, a completion inflated past
+      // slow_ratio × expected counts as a failure — gray servers trip
+      // the breaker without ever aborting. slow_ratio == 0 reduces to
+      // record_success exactly.
+      breakers[attempt_source[r]].record_completion(
+          now, now - attempt_start[r], attempt_expected[r]);
       release_slot(r, now);
     }
 

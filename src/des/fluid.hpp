@@ -21,12 +21,17 @@ struct ActiveFlow {
 
 /// Max-min fair rates for the active flows over shared links (iterative
 /// water-filling: repeatedly freeze the flows of the tightest link).
-inline void assign_max_min_rates(std::vector<ActiveFlow>& flows,
+/// Templated so engines with richer per-leg state (the hedged engine's
+/// HedgedLeg) share the same arithmetic: any Flow with `links` and
+/// `rate_mbps` members works, and instantiating with ActiveFlow is the
+/// original function bit for bit.
+template <typename Flow>
+inline void assign_max_min_rates(std::vector<Flow>& flows,
                                  const std::vector<double>& capacities) {
   std::vector<double> remaining_cap = capacities;
   std::vector<std::size_t> unfrozen_count(capacities.size(), 0);
   std::vector<bool> frozen(flows.size(), false);
-  for (const ActiveFlow& flow : flows) {
+  for (const Flow& flow : flows) {
     for (const std::size_t l : flow.links) ++unfrozen_count[l];
   }
   std::size_t flows_left = flows.size();

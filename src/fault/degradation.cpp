@@ -1,0 +1,315 @@
+#include "fault/degradation.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <limits>
+
+#include "fault/fault_plan.hpp"
+#include "util/assert.hpp"
+#include "util/random.hpp"
+
+namespace idde::fault {
+
+namespace {
+
+// Fixed stream-id base for per-server gray trajectories; disjoint from the
+// FaultPlan bases so a composed (FaultPlan, DegradationPlan) pair drawn
+// from the same master seed stays decorrelated.
+constexpr std::uint64_t kGrayStream = 0x96a70000;
+constexpr std::uint64_t kGrayLossStream = 0x96a7105e;
+
+constexpr std::string_view kFormatTag = "idde-degradation-plan-v1";
+
+/// Loss rate of a segment, scaled by its severity relative to the peak.
+double segment_loss(double multiplier, double peak, double loss_prob_max) {
+  if (loss_prob_max <= 0.0 || multiplier <= 1.0) return 0.0;
+  const double severity = peak > 1.0 ? (multiplier - 1.0) / (peak - 1.0) : 1.0;
+  return loss_prob_max * severity;
+}
+
+std::string u64_hex(std::uint64_t value) {
+  char buf[17];
+  const auto [end, ec] = std::to_chars(buf, buf + 16, value, 16);
+  IDDE_EXPECTS(ec == std::errc{});
+  return std::string(buf, end);
+}
+
+std::uint64_t hex_u64(const util::Json& value, std::string_view what) {
+  if (!value.is_string()) {
+    throw util::JsonError(std::string(what) + ": expected hex string");
+  }
+  const std::string& hex = value.as_string();
+  if (hex.empty() || hex.size() > 16) {
+    throw util::JsonError(std::string(what) + ": bad hex length");
+  }
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(hex.data(), hex.data() + hex.size(), out, 16);
+  if (ec != std::errc{} || ptr != hex.data() + hex.size()) {
+    throw util::JsonError(std::string(what) + ": bad hex digits");
+  }
+  return out;
+}
+
+}  // namespace
+
+DegradationPlan DegradationPlan::generate(
+    const model::ProblemInstance& instance, const DegradationProfile& profile,
+    std::uint64_t seed) {
+  DegradationPlan plan;
+  if (profile.inert()) return plan;  // inert profile => inert plan
+
+  IDDE_EXPECTS(profile.horizon_s > 0.0);
+  IDDE_EXPECTS(profile.gray_fraction <= 1.0);
+  IDDE_EXPECTS(profile.peak_multiplier_min >= 1.0 &&
+               profile.peak_multiplier_max >= profile.peak_multiplier_min);
+  IDDE_EXPECTS(profile.loss_prob_max >= 0.0 && profile.loss_prob_max < 1.0);
+  IDDE_EXPECTS(profile.onset_latest_s >= 0.0 &&
+               profile.onset_latest_s < profile.horizon_s);
+  IDDE_EXPECTS(profile.ramp_weight >= 0.0 && profile.plateau_weight >= 0.0 &&
+               profile.flap_weight >= 0.0);
+  const double total_weight =
+      profile.ramp_weight + profile.plateau_weight + profile.flap_weight;
+  IDDE_EXPECTS(total_weight > 0.0);
+  IDDE_EXPECTS(profile.ramp_s > 0.0 && profile.ramp_steps > 0);
+  IDDE_EXPECTS(profile.plateau_s > 0.0);
+  IDDE_EXPECTS(profile.flap_period_s > 0.0);
+
+  plan.set_horizon(profile.horizon_s);
+  const util::Rng master(seed);
+  {
+    util::Rng loss = master.fork(kGrayLossStream);
+    plan.loss_seed_ = loss.generator()();
+  }
+
+  for (std::size_t i = 0; i < instance.server_count(); ++i) {
+    // One forked stream per server: topology-order independent, and a
+    // server's whole trajectory is a pure function of (seed, i).
+    util::Rng rng = master.fork(kGrayStream + i);
+    if (!rng.bernoulli(profile.gray_fraction)) continue;
+
+    const double shape_draw = rng.uniform(0.0, total_weight);
+    const double onset = rng.uniform(0.0, profile.onset_latest_s);
+    const double peak =
+        rng.uniform(profile.peak_multiplier_min, profile.peak_multiplier_max);
+    const double horizon = profile.horizon_s;
+
+    const auto add = [&](double start, double end, double multiplier) {
+      start = std::min(start, horizon);
+      end = std::min(end, horizon);
+      if (end <= start || multiplier <= 1.0) return;
+      plan.add_server_segment(
+          i, GraySegment{start, end, multiplier,
+                         segment_loss(multiplier, peak,
+                                      profile.loss_prob_max)});
+    };
+
+    if (shape_draw < profile.ramp_weight) {
+      // Slow ramp: climb to the peak in ramp_steps equal stairs, hold.
+      const double step_s = profile.ramp_s /
+                            static_cast<double>(profile.ramp_steps);
+      for (std::size_t s = 0; s < profile.ramp_steps; ++s) {
+        const double frac = static_cast<double>(s + 1) /
+                            static_cast<double>(profile.ramp_steps);
+        const double mult = 1.0 + frac * (peak - 1.0);
+        const double start = onset + static_cast<double>(s) * step_s;
+        // The end must be the *same expression* as the next step's start:
+        // `start + step_s` can differ from it in the last ulp and produce
+        // an overlapping pair.
+        const double end =
+            s + 1 == profile.ramp_steps
+                ? horizon  // hold the peak to the horizon
+                : onset + static_cast<double>(s + 1) * step_s;
+        add(start, end, mult);
+      }
+    } else if (shape_draw < profile.ramp_weight + profile.plateau_weight) {
+      // Metastable plateau: peak for plateau_s, then full recovery.
+      add(onset, onset + profile.plateau_s, peak);
+    } else {
+      // Flapping: peak / healthy alternation until the horizon.
+      const double half = profile.flap_period_s / 2.0;
+      for (double start = onset; start < horizon;
+           start += profile.flap_period_s) {
+        add(start, start + half, peak);
+      }
+    }
+  }
+  return plan;
+}
+
+void DegradationPlan::add_server_segment(std::size_t server,
+                                         GraySegment segment) {
+  IDDE_EXPECTS(segment.start_s >= 0.0 && segment.end_s > segment.start_s);
+  IDDE_EXPECTS(segment.latency_multiplier >= 1.0 &&
+               std::isfinite(segment.latency_multiplier));
+  IDDE_EXPECTS(segment.loss_prob >= 0.0 && segment.loss_prob < 1.0);
+  if (server >= segments_.size()) segments_.resize(server + 1);
+  auto& segments = segments_[server];
+  IDDE_EXPECTS(segments.empty() ||
+               segment.start_s >= segments.back().end_s);
+  for (const double t : {segment.start_s, segment.end_s}) {
+    const auto it = std::lower_bound(changes_.begin(), changes_.end(), t);
+    if (it == changes_.end() || *it != t) changes_.insert(it, t);
+  }
+  horizon_s_ = std::max(horizon_s_, segment.end_s);
+  segments.push_back(segment);
+}
+
+void DegradationPlan::set_horizon(double horizon_s) {
+  IDDE_EXPECTS(horizon_s >= horizon_s_);
+  horizon_s_ = horizon_s;
+}
+
+bool DegradationPlan::inert() const noexcept {
+  for (const auto& segments : segments_) {
+    if (!segments.empty()) return false;
+  }
+  return true;
+}
+
+const GraySegment* DegradationPlan::segment_at(std::size_t server,
+                                               double t) const {
+  if (server >= segments_.size()) return nullptr;
+  const auto& segments = segments_[server];
+  const auto it = std::upper_bound(
+      segments.begin(), segments.end(), t,
+      [](double value, const GraySegment& s) { return value < s.start_s; });
+  if (it == segments.begin()) return nullptr;
+  const GraySegment& candidate = *std::prev(it);
+  return t < candidate.end_s ? &candidate : nullptr;
+}
+
+double DegradationPlan::latency_multiplier(std::size_t server,
+                                           double t) const {
+  const GraySegment* s = segment_at(server, t);
+  return s != nullptr ? s->latency_multiplier : 1.0;
+}
+
+double DegradationPlan::loss_prob(std::size_t server, double t) const {
+  const GraySegment* s = segment_at(server, t);
+  return s != nullptr ? s->loss_prob : 0.0;
+}
+
+bool DegradationPlan::leg_lost(std::size_t server, std::uint64_t flow_id,
+                               std::size_t attempt, double t) const {
+  const double rate = loss_prob(server, t);
+  if (rate <= 0.0) return false;
+  // Stateless per-leg hash (same idiom as FaultPlan::replica_corrupted):
+  // order- and thread-independent by design.
+  util::SplitMix64 mix(loss_seed_ ^ (0x100000001b3ULL * (server + 1)) ^
+                       (0x9e3779b97f4a7c15ULL * (flow_id + 1)) ^ attempt);
+  const double u = static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+double DegradationPlan::next_change_after(double t) const {
+  const auto it = std::upper_bound(changes_.begin(), changes_.end(), t);
+  return it == changes_.end() ? kNeverChanges : *it;
+}
+
+util::Json degradation_to_json(const DegradationPlan& plan) {
+  util::JsonObject root;
+  root.emplace("format", std::string(kFormatTag));
+  root.emplace("horizon_s", plan.horizon_s());
+  root.emplace("loss_seed", u64_hex(plan.loss_seed()));
+  util::JsonArray servers;
+  const auto& all = plan.server_segments();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i].empty()) continue;
+    util::JsonObject entry;
+    entry.emplace("server", i);
+    util::JsonArray segments;
+    for (const GraySegment& s : all[i]) {
+      util::JsonObject seg;
+      seg.emplace("start_s", s.start_s);
+      seg.emplace("end_s", s.end_s);
+      seg.emplace("latency_multiplier", s.latency_multiplier);
+      seg.emplace("loss_prob", s.loss_prob);
+      segments.emplace_back(std::move(seg));
+    }
+    entry.emplace("segments", std::move(segments));
+    servers.emplace_back(std::move(entry));
+  }
+  root.emplace("servers", std::move(servers));
+  return util::Json(std::move(root));
+}
+
+DegradationPlan degradation_from_json(const model::ProblemInstance& instance,
+                                      const util::Json& json) {
+  if (!json.is_object()) {
+    throw util::JsonError("degradation plan: expected an object");
+  }
+  const util::Json* format = json.find("format");
+  if (format == nullptr || !format->is_string() ||
+      format->as_string() != kFormatTag) {
+    throw util::JsonError("degradation plan: missing or wrong format tag");
+  }
+  DegradationPlan plan;
+  plan.set_loss_seed(hex_u64(json.at("loss_seed"), "degradation loss_seed"));
+  const double horizon =
+      util::as_finite(json.at("horizon_s"), 0.0, "degradation horizon_s");
+
+  const util::Json& servers = json.at("servers");
+  if (!servers.is_array()) {
+    throw util::JsonError("degradation servers: expected an array");
+  }
+  std::vector<std::uint8_t> seen(instance.server_count(), 0);
+  for (const util::Json& entry : servers.as_array()) {
+    if (!entry.is_object()) {
+      throw util::JsonError("degradation server entry: expected an object");
+    }
+    const std::size_t server = util::as_index(
+        entry.at("server"), instance.server_count(), "degradation server");
+    if (seen[server] != 0) {
+      throw util::JsonError("degradation server listed twice");
+    }
+    seen[server] = 1;
+    const util::Json& segments = entry.at("segments");
+    if (!segments.is_array() || segments.as_array().empty()) {
+      throw util::JsonError(
+          "degradation segments: expected a non-empty array");
+    }
+    double prev_end = 0.0;
+    for (const util::Json& seg : segments.as_array()) {
+      if (!seg.is_object()) {
+        throw util::JsonError("degradation segment: expected an object");
+      }
+      GraySegment s;
+      s.start_s = util::as_finite(seg.at("start_s"), 0.0, "segment start_s");
+      s.end_s = util::as_finite(seg.at("end_s"), 0.0, "segment end_s");
+      s.latency_multiplier = util::as_finite(
+          seg.at("latency_multiplier"), 1.0, "segment latency_multiplier");
+      s.loss_prob =
+          util::as_finite(seg.at("loss_prob"), 0.0, "segment loss_prob");
+      if (s.end_s <= s.start_s) {
+        throw util::JsonError("segment end_s must exceed start_s");
+      }
+      if (s.loss_prob >= 1.0) {
+        throw util::JsonError("segment loss_prob must be < 1");
+      }
+      if (s.start_s < prev_end) {
+        throw util::JsonError(
+            "degradation segments must be sorted and disjoint");
+      }
+      if (s.end_s > horizon) {
+        throw util::JsonError("segment extends past horizon_s");
+      }
+      prev_end = s.end_s;
+      plan.add_server_segment(server, s);
+    }
+  }
+  plan.set_horizon(horizon);  // validated >= every segment end above
+  return plan;
+}
+
+std::string degradation_to_string(const DegradationPlan& plan, int indent) {
+  return degradation_to_json(plan).dump(indent);
+}
+
+DegradationPlan degradation_from_string(const model::ProblemInstance& instance,
+                                        const std::string& text) {
+  return degradation_from_json(instance, util::Json::parse(text));
+}
+
+}  // namespace idde::fault

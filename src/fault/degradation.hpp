@@ -1,0 +1,159 @@
+// Gray-failure schedules: servers that degrade without dying.
+//
+// The binary FaultPlan models crash/recover — a server is either in the
+// graph or not. Real edge storage mostly fails *partially*: a disk that
+// slows to a crawl, an overloaded NIC dropping frames, a metastable
+// brown-out that never trips a liveness probe. A DegradationPlan is the
+// gray analogue of a FaultPlan: a pre-drawn, seed-reproducible schedule of
+// per-server latency multipliers and loss rates, composable with a binary
+// plan (the DES consumes both; a server can be slow *and* later crash).
+//
+// Trajectory shapes (drawn per gray server by weighted lottery):
+//   slow ramp    multiplier climbs in steps from 1 to a peak, then holds —
+//                the classic ageing-disk / filling-queue signature;
+//   metastable   a plateau at the peak for a bounded interval, then full
+//                recovery — brown-outs that fix themselves;
+//   flapping     the multiplier alternates peak/healthy with a short
+//                period — the breaker-hostile pattern.
+//
+// Determinism contract (same as FaultPlan): a plan is a pure function of
+// (instance topology, DegradationProfile, seed); every per-server stream
+// is forked by a fixed stream id, and the per-leg loss lottery is a
+// stateless hash of (server, flow, attempt), so query order and thread
+// count cannot change the schedule. An inert profile generates an inert
+// plan, and every consumer short-circuits on `inert()` — the gray layer
+// is zero-cost (bit-identical replay) when disabled.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/instance.hpp"
+#include "util/json.hpp"
+
+namespace idde::fault {
+
+/// Gray-failure process parameters. `gray_fraction` <= 0 disables the
+/// whole layer (the inert profile).
+struct DegradationProfile {
+  /// Degradation is only scheduled in [0, horizon_s); everything is
+  /// healthy afterwards.
+  double horizon_s = 60.0;
+  /// Expected fraction of servers drawn gray (independent per server).
+  double gray_fraction = 0.0;
+  /// Peak latency multiplier, drawn uniformly per gray server.
+  double peak_multiplier_min = 3.0;
+  double peak_multiplier_max = 8.0;
+  /// Per-leg loss probability at the peak multiplier; intermediate
+  /// segments scale it by their relative severity. 0 = slow but lossless.
+  double loss_prob_max = 0.0;
+  /// Onset time of the episode, drawn uniformly in [0, onset_latest_s].
+  double onset_latest_s = 20.0;
+  // Shape lottery weights (relative; all zero would be rejected).
+  double ramp_weight = 1.0;
+  double plateau_weight = 1.0;
+  double flap_weight = 1.0;
+  /// Slow ramp: the climb from 1 to the peak spans `ramp_s` in
+  /// `ramp_steps` piecewise-constant steps, then holds to the horizon.
+  double ramp_s = 20.0;
+  std::size_t ramp_steps = 8;
+  /// Metastable plateau: peak for `plateau_s`, then full recovery.
+  double plateau_s = 15.0;
+  /// Flapping: alternate peak / healthy with this full period.
+  double flap_period_s = 4.0;
+
+  /// True when no server can be drawn gray — the inert profile.
+  [[nodiscard]] bool inert() const noexcept { return gray_fraction <= 0.0; }
+};
+
+/// One piecewise-constant slice of a server's gray trajectory. Half-open
+/// [start_s, end_s); outside every segment the server is healthy
+/// (multiplier 1, loss 0).
+struct GraySegment {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double latency_multiplier = 1.0;  ///< >= 1; service-rate divisor
+  double loss_prob = 0.0;           ///< per-leg loss probability in [0, 1)
+  friend bool operator==(const GraySegment&, const GraySegment&) = default;
+};
+
+class DegradationPlan {
+ public:
+  /// Default plan: every server healthy forever.
+  DegradationPlan() = default;
+
+  /// Draws a plan for `instance`'s servers from `profile`. Deterministic
+  /// in (topology, profile, seed); an inert profile yields an inert plan.
+  [[nodiscard]] static DegradationPlan generate(
+      const model::ProblemInstance& instance,
+      const DegradationProfile& profile, std::uint64_t seed);
+
+  // Manual construction (tests and targeted what-if studies). Segments
+  // must be added in increasing, non-overlapping order per server.
+  void add_server_segment(std::size_t server, GraySegment segment);
+  void set_horizon(double horizon_s);
+  /// Seed of the stateless per-leg loss lottery (generate() sets it; set
+  /// it explicitly for manual plans that use loss rates).
+  void set_loss_seed(std::uint64_t seed) { loss_seed_ = seed; }
+
+  /// True when the plan schedules nothing — consumers take their
+  /// pre-gray fast path (bit-identical to a plan-less run).
+  [[nodiscard]] bool inert() const noexcept;
+
+  [[nodiscard]] double horizon_s() const noexcept { return horizon_s_; }
+  [[nodiscard]] std::uint64_t loss_seed() const noexcept { return loss_seed_; }
+
+  // Point queries. Servers without segments (or outside them) are healthy.
+  [[nodiscard]] double latency_multiplier(std::size_t server, double t) const;
+  [[nodiscard]] double loss_prob(std::size_t server, double t) const;
+
+  /// Stateless per-leg loss lottery at the (server, t) loss rate: a lost
+  /// leg transfers fully but fails its integrity check on completion.
+  /// Pure function of (plan, server, flow_id, attempt) — order- and
+  /// thread-independent, like FaultPlan::replica_corrupted.
+  [[nodiscard]] bool leg_lost(std::size_t server, std::uint64_t flow_id,
+                              std::size_t attempt, double t) const;
+
+  /// Sorted unique times at which any server's (multiplier, loss) pair
+  /// changes — the gray analogue of FaultPlan::edge_change_times().
+  [[nodiscard]] const std::vector<double>& change_times() const noexcept {
+    return changes_;
+  }
+  /// First gray change strictly after `t` (+inf when none).
+  [[nodiscard]] double next_change_after(double t) const;
+
+  /// Introspection for tests and reporting.
+  [[nodiscard]] const std::vector<std::vector<GraySegment>>& server_segments()
+      const noexcept {
+    return segments_;
+  }
+
+  friend bool operator==(const DegradationPlan&,
+                         const DegradationPlan&) = default;
+
+ private:
+  [[nodiscard]] const GraySegment* segment_at(std::size_t server,
+                                              double t) const;
+
+  double horizon_s_ = 0.0;
+  std::vector<std::vector<GraySegment>> segments_;  // index = server id
+  std::vector<double> changes_;                     // sorted unique
+  std::uint64_t loss_seed_ = 0;
+};
+
+// Checkpoint IO. Format-tagged JSON; doubles are written at full
+// round-trip precision so a reloaded plan replays bit-identically.
+// Loaders validate structurally (tag, bounds against the instance,
+// ordering, ranges) and throw util::JsonError on anything malformed —
+// never an assert (fuzzed in tests/test_io_fuzz.cpp).
+[[nodiscard]] util::Json degradation_to_json(const DegradationPlan& plan);
+[[nodiscard]] DegradationPlan degradation_from_json(
+    const model::ProblemInstance& instance, const util::Json& json);
+[[nodiscard]] std::string degradation_to_string(const DegradationPlan& plan,
+                                                int indent = -1);
+[[nodiscard]] DegradationPlan degradation_from_string(
+    const model::ProblemInstance& instance, const std::string& text);
+
+}  // namespace idde::fault

@@ -214,4 +214,33 @@ double FaultPlan::next_edge_change_after(double t) const {
   return it == edge_changes_.end() ? kNeverChanges : *it;
 }
 
+std::vector<double> FaultPlan::epoch_starts() const {
+  std::vector<double> starts;
+  starts.reserve(edge_changes_.size() + 1);
+  starts.push_back(0.0);
+  for (const double t : edge_changes_) {
+    // edge_changes_ is sorted unique, so only a leading 0.0 can collide
+    // with the implicit epoch start at the origin.
+    if (t > 0.0) starts.push_back(t);
+  }
+  return starts;
+}
+
+std::size_t FaultPlan::epoch_index_at(double t) const {
+  IDDE_EXPECTS(t >= 0.0);
+  // Count edge changes in (0, t]: each strictly positive boundary at or
+  // before `t` pushes us one epoch further along epoch_starts().
+  const auto begin = std::upper_bound(edge_changes_.begin(),
+                                      edge_changes_.end(), 0.0);
+  const auto it = std::upper_bound(begin, edge_changes_.end(), t);
+  return static_cast<std::size_t>(it - begin);
+}
+
+bool FaultPlan::availability_changed_between(double from, double to) const {
+  if (to < from) return false;
+  const auto it =
+      std::upper_bound(edge_changes_.begin(), edge_changes_.end(), from);
+  return it != edge_changes_.end() && *it <= to;
+}
+
 }  // namespace idde::fault

@@ -116,6 +116,21 @@ class FaultPlan {
   /// First edge-availability change strictly after `t` (+inf when none).
   [[nodiscard]] double next_edge_change_after(double t) const;
 
+  // Epoch view of the edge-availability timeline. An epoch is a maximal
+  // half-open interval over which the degraded edge graph is constant;
+  // epoch e spans [epoch_starts()[e], epoch_starts()[e+1]) (the last one
+  // is unbounded). This is the single source of epoch boundaries —
+  // FaultInjector snapshots and ServeController tick gating both consume
+  // it, so they can never disagree about where an epoch begins.
+  /// [0.0] followed by every strictly positive edge-change time.
+  [[nodiscard]] std::vector<double> epoch_starts() const;
+  /// Index of the epoch containing `t` (t >= 0).
+  [[nodiscard]] std::size_t epoch_index_at(double t) const;
+  /// True when an edge-availability boundary lies in (from, to] — i.e.
+  /// the degraded graph at `to` may differ from the one at `from`.
+  [[nodiscard]] bool availability_changed_between(double from,
+                                                 double to) const;
+
   // Introspection for tests and reporting.
   [[nodiscard]] const std::vector<std::vector<Interval>>& server_downtime()
       const noexcept {

@@ -12,11 +12,7 @@ namespace idde::fault {
 
 FaultInjector::FaultInjector(const model::ProblemInstance& instance,
                              const FaultPlan& plan)
-    : plan_(&plan) {
-  starts_.push_back(0.0);
-  for (const double t : plan.edge_change_times()) {
-    if (t > 0.0 && t != starts_.back()) starts_.push_back(t);
-  }
+    : plan_(&plan), starts_(plan.epoch_starts()) {
 
   const net::Graph& base = instance.graph();
   const std::size_t n = instance.server_count();
@@ -61,9 +57,9 @@ FaultInjector::FaultInjector(const model::ProblemInstance& instance,
 }
 
 std::size_t FaultInjector::epoch_index(double t) const {
-  IDDE_EXPECTS(t >= 0.0);
-  const auto it = std::upper_bound(starts_.begin(), starts_.end(), t);
-  return static_cast<std::size_t>(it - starts_.begin()) - 1;
+  // Delegates to the plan's shared epoch timeline (satellite: injector and
+  // serve controller must agree on boundaries by construction).
+  return plan_->epoch_index_at(t);
 }
 
 ResilienceReport evaluate_resilience(const model::ProblemInstance& instance,

@@ -15,6 +15,15 @@
 //   half-open  after the cooldown, up to half_open_probes concurrent trial
 //              deliveries are allowed. The first success closes the
 //              breaker (window reset); the first failure re-opens it.
+//              half_open_probe_cap bounds the *total* probes one half-open
+//              episode may launch: a flapping gray server whose probes are
+//              abandoned (e.g. a hedge won elsewhere) could otherwise hold
+//              the breaker half-open forever; at the cap it re-opens.
+//
+// Gray servers fail slow, not dead: with slow_ratio > 0 a completed
+// delivery whose observed time reaches slow_ratio × the expected time is
+// recorded as a failure outcome (record_completion), so sustained latency
+// inflation trips the breaker exactly like aborts do.
 //
 // All transitions are driven by simulated event times passed in by the
 // engine — the breaker holds no clock and is fully deterministic.
@@ -44,6 +53,14 @@ class CircuitBreaker {
     refresh(now_s);
     if (state_ == BreakerState::kClosed) return true;
     if (state_ == BreakerState::kOpen) return false;
+    if (config_.half_open_probe_cap > 0 &&
+        episode_probes_ >= config_.half_open_probe_cap) {
+      // Probe budget of this half-open episode exhausted without a
+      // verdict: stop letting the flapping server dribble probes and
+      // re-open for a full cooldown.
+      open(now_s);
+      return false;
+    }
     return probes_started_ < config_.half_open_probes;
   }
 
@@ -52,7 +69,36 @@ class CircuitBreaker {
   void on_attempt_started(double now_s) noexcept {
     if (config_.inert()) return;
     refresh(now_s);
-    if (state_ == BreakerState::kHalfOpen) ++probes_started_;
+    if (state_ == BreakerState::kHalfOpen) {
+      ++probes_started_;
+      ++episode_probes_;
+    }
+  }
+
+  /// A routed probe was abandoned without a verdict (epoch abort, hedge
+  /// lost the race): frees its concurrency slot; the episode count keeps
+  /// charging it against half_open_probe_cap.
+  void on_probe_abandoned(double now_s) noexcept {
+    if (config_.inert()) return;
+    refresh(now_s);
+    if (state_ == BreakerState::kHalfOpen && probes_started_ > 0) {
+      --probes_started_;
+    }
+  }
+
+  /// Outcome of a *completed* delivery with known expected/observed
+  /// timing: with slow_ratio configured, finishing at or beyond
+  /// slow_ratio × expected counts as a failure (gray-server trip),
+  /// otherwise as a success.
+  void record_completion(double now_s, double observed_s,
+                         double expected_s) noexcept {
+    if (config_.inert()) return;
+    if (config_.slow_ratio > 0.0 && expected_s > 0.0 &&
+        observed_s >= config_.slow_ratio * expected_s) {
+      record_failure(now_s);
+    } else {
+      record_success(now_s);
+    }
   }
 
   void record_success(double now_s) noexcept {
@@ -97,6 +143,7 @@ class CircuitBreaker {
     if (state_ == BreakerState::kOpen && now_s >= open_until_) {
       state_ = BreakerState::kHalfOpen;
       probes_started_ = 0;
+      episode_probes_ = 0;
     }
   }
 
@@ -132,7 +179,8 @@ class CircuitBreaker {
   std::size_t failures_ = 0;
   BreakerState state_ = BreakerState::kClosed;
   double open_until_ = 0.0;
-  std::size_t probes_started_ = 0;
+  std::size_t probes_started_ = 0;   // live (unresolved) probes
+  std::size_t episode_probes_ = 0;   // total launched this half-open episode
   std::size_t times_opened_ = 0;
 };
 

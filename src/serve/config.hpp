@@ -12,8 +12,10 @@
 #include <cstddef>
 
 #include "core/game.hpp"
+#include "core/health.hpp"
 #include "dynamic/churn.hpp"
 #include "dynamic/mobility.hpp"
+#include "fault/degradation.hpp"
 #include "fault/fault_plan.hpp"
 #include "model/instance_builder.hpp"
 #include "qos/config.hpp"
@@ -31,6 +33,15 @@ struct ServeConfig {
   bool churn_enabled = true;
   dynamic::ChurnParams churn;
   fault::FaultProfile faults;
+  /// Gray-failure schedule (slow-not-dead servers). The controller feeds
+  /// the per-tick latency multipliers into a core::HealthTracker; a
+  /// server crossing the demotion threshold raises a kServerGray event
+  /// with the same budgeted sigma repair a crash gets, and recovery
+  /// raises kServerRecovered. Inert (the default) adds nothing: events,
+  /// trajectory hash and checkpoints are bit-identical to pre-gray runs.
+  fault::DegradationProfile degradation;
+  /// Health-score parameters used when `degradation` is active.
+  core::HealthConfig health;
   /// Every this many ticks a sigma-refresh event re-runs the budgeted
   /// delivery heal even without a fault, re-adapting sigma to the drifted
   /// geometry and churn population. 0 disables.

@@ -22,6 +22,7 @@ namespace {
 /// Stream salt + ids for the controller's independent RNG streams.
 constexpr std::uint64_t kServeSeedSalt = 0x5e12e5e12e5e12e5ULL;
 constexpr std::uint64_t kFaultSeedSalt = 0xfa017fa017ULL;
+constexpr std::uint64_t kGraySeedSalt = 0x96a7fa5a17ULL;
 constexpr std::uint64_t kWalkStream = 1;
 constexpr std::uint64_t kChurnStream = 2;
 constexpr std::uint64_t kSolveStream = 3;
@@ -135,6 +136,9 @@ ServeController::ServeController(ServeConfig config, std::uint64_t seed)
       base_(model::make_instance(config_.base, seed)),
       pathloss_(config_.base.pathloss_eta, config_.base.pathloss_exponent),
       plan_(make_plan(base_, config_, seed)),
+      gray_plan_(fault::DegradationPlan::generate(base_, config_.degradation,
+                                                  seed ^ kGraySeedSalt)),
+      health_(base_.server_count(), config_.health),
       tracker_(base_, pathloss_),
       walk_rng_(util::Rng(seed ^ kServeSeedSalt).fork(kWalkStream)),
       churn_rng_(util::Rng(seed ^ kServeSeedSalt).fork(kChurnStream)),
@@ -155,6 +159,7 @@ ServeController::ServeController(ServeConfig config, std::uint64_t seed)
 
   plan_.server_up_mask(base_.server_count(), 0.0, up_mask_);
   prev_up_mask_ = up_mask_;
+  gray_mask_.assign(base_.server_count(), 0);
 
   // Initial solve at t = 0, always with the production rule — an injected
   // chaos rule (kCycleProbe) applies to *repairs*, which is what the
@@ -233,12 +238,36 @@ TickReport ServeController::tick() {
 
 void ServeController::derive_events(double t) {
   events_.clear();
-  plan_.server_up_mask(base_.server_count(), t, up_mask_);
+  // Availability is piecewise-constant between the plan's epoch
+  // boundaries, so the mask only needs rebuilding when a boundary falls
+  // inside this tick — the same epoch view fault::FaultInjector slices on.
+  if (plan_.availability_changed_between(t - config_.tick_seconds, t)) {
+    plan_.server_up_mask(base_.server_count(), t, up_mask_);
+  }
   for (std::size_t i = 0; i < up_mask_.size(); ++i) {
     if (prev_up_mask_[i] != 0 && up_mask_[i] == 0) {
       events_.push_back(Event{EventKind::kServerDown, i});
     } else if (prev_up_mask_[i] == 0 && up_mask_[i] != 0) {
       events_.push_back(Event{EventKind::kServerUp, i});
+    }
+  }
+  if (!gray_plan_.inert()) {
+    // Feed the tracker from the degradation schedule: the plan's latency
+    // multiplier at time t *is* the observed/expected inflation of a leg
+    // served now, and a non-zero loss rate counts as a lost leg. The
+    // hysteretic demotion latch then drives gray/recovered events exactly
+    // like the up-mask diff drives down/up events.
+    for (std::size_t i = 0; i < up_mask_.size(); ++i) {
+      health_.record_leg(i, 1.0, gray_plan_.latency_multiplier(i, t));
+      if (gray_plan_.loss_prob(i, t) > 0.0) health_.record_loss(i);
+      const bool gray = health_.demoted(i);
+      if (gray && gray_mask_[i] == 0) {
+        gray_mask_[i] = 1;
+        events_.push_back(Event{EventKind::kServerGray, i});
+      } else if (!gray && gray_mask_[i] != 0) {
+        gray_mask_[i] = 0;
+        events_.push_back(Event{EventKind::kServerRecovered, i});
+      }
     }
   }
   if (config_.churn_enabled) {
@@ -294,6 +323,14 @@ void ServeController::apply_bookkeeping(const Event& event) {
     case EventKind::kSigmaRefresh:
       sigma_clean_ = false;
       break;
+    case EventKind::kServerGray:
+      // The server still holds its replicas, but every leg through it now
+      // pays the inflation — sigma should route around it.
+      sigma_clean_ = false;
+      break;
+    case EventKind::kServerRecovered:
+      sigma_clean_ = false;  // readmitted capacity is unexploited
+      break;
   }
 }
 
@@ -313,6 +350,12 @@ void ServeController::dispatch_repairs(const Event& event,
       wants_equilibrium = true;
       break;
     case EventKind::kSigmaRefresh:
+      wants_sigma = true;
+      break;
+    case EventKind::kServerGray:
+    case EventKind::kServerRecovered:
+      // Gray transitions get the same budgeted sigma heal a crash gets;
+      // the allocation plane is untouched (the server is still serving).
       wants_sigma = true;
       break;
   }
@@ -406,8 +449,21 @@ bool ServeController::run_sigma_repair(TickReport& report) {
   const core::DeliveryProfile sigma = materialize_sigma();
   core::RepairPlanner planner(inst);
   const std::size_t budget = config_.repair_placements_per_event;
+  // With an active gray plane, demoted servers are excluded from the heal
+  // exactly like dead ones: new placements avoid them and their replicas
+  // stop counting as coverage. The mask itself is (up && !gray).
+  const std::vector<std::uint8_t>* mask = &up_mask_;
+  std::vector<std::uint8_t> healthy;
+  if (!gray_plan_.inert()) {
+    healthy.resize(up_mask_.size());
+    for (std::size_t i = 0; i < up_mask_.size(); ++i) {
+      healthy[i] =
+          static_cast<std::uint8_t>(up_mask_[i] != 0 && gray_mask_[i] == 0);
+    }
+    mask = &healthy;
+  }
   core::RepairResult result =
-      planner.replan(allocation_, sigma, up_mask_, {}, true, budget);
+      planner.replan(allocation_, sigma, *mask, {}, true, budget);
   ++status_.repairs_total;
   ++report.repairs;
   extract_sigma(result.delivery);
@@ -567,6 +623,13 @@ void ServeController::fold_tick_hash() {
                         (sigma_clean_ ? 8 : 0));
   hash = fnv1a_fold(hash, strikes_);
   hash = fnv1a_fold(hash, cooldown_left_);
+  // Gated on plan activity so inert-config trajectories keep their
+  // pre-gray hashes bit-identically.
+  if (!gray_plan_.inert()) {
+    for (const std::uint8_t gray : gray_mask_) {
+      hash = fnv1a_fold(hash, gray);
+    }
+  }
   trajectory_hash_ = hash;
 }
 
@@ -612,6 +675,24 @@ std::uint64_t ServeController::guard_hash() const {
   fold_bits(config_.mobility.max_speed_mps);
   fold_bits(config_.mobility.pause_seconds);
   fold_bits(config_.flash_failure_fraction);
+  fold_bits(config_.degradation.horizon_s);
+  fold_bits(config_.degradation.gray_fraction);
+  fold_bits(config_.degradation.peak_multiplier_min);
+  fold_bits(config_.degradation.peak_multiplier_max);
+  fold_bits(config_.degradation.loss_prob_max);
+  fold_bits(config_.degradation.onset_latest_s);
+  fold_bits(config_.degradation.ramp_weight);
+  fold_bits(config_.degradation.plateau_weight);
+  fold_bits(config_.degradation.flap_weight);
+  fold_bits(config_.degradation.ramp_s);
+  hash = fnv1a_fold(hash, config_.degradation.ramp_steps);
+  fold_bits(config_.degradation.plateau_s);
+  fold_bits(config_.degradation.flap_period_s);
+  fold_bits(config_.health.ewma_alpha);
+  fold_bits(config_.health.demote_score);
+  fold_bits(config_.health.recover_score);
+  fold_bits(config_.health.loss_weight);
+  hash = fnv1a_fold(hash, config_.health.min_samples);
   return hash;
 }
 
@@ -653,6 +734,30 @@ std::string ServeController::checkpoint(int indent) const {
     if (churn_.online(j)) churn_mask[j] = '1';
   }
   root.emplace("churn_mask", std::move(churn_mask));
+
+  // Health plane (gray failures). The degradation plan itself is derived
+  // (regenerated from config and seed); only the tracker's evidence and
+  // the demotion mask are state.
+  util::JsonObject health;
+  util::JsonArray health_ewma;
+  util::JsonArray health_legs;
+  util::JsonArray health_losses;
+  std::string demoted_mask(base_.server_count(), '0');
+  std::string gray_mask(base_.server_count(), '0');
+  for (std::size_t i = 0; i < base_.server_count(); ++i) {
+    const core::ServerHealth& h = health_.state()[i];
+    health_ewma.push_back(double_to_bits(h.ewma_inflation));
+    health_legs.emplace_back(u64_to_hex(h.legs));
+    health_losses.emplace_back(u64_to_hex(h.losses));
+    if (h.demoted) demoted_mask[i] = '1';
+    if (gray_mask_[i] != 0) gray_mask[i] = '1';
+  }
+  health.emplace("ewma", std::move(health_ewma));
+  health.emplace("legs", std::move(health_legs));
+  health.emplace("losses", std::move(health_losses));
+  health.emplace("demoted", std::move(demoted_mask));
+  health.emplace("gray_mask", std::move(gray_mask));
+  root.emplace("health", std::move(health));
 
   util::JsonArray alloc_server;
   util::JsonArray alloc_channel;
@@ -814,6 +919,43 @@ void ServeController::restore(std::string_view checkpoint_text) {
     mask[j] = mask_text[j] == '1';
   }
   churn_.restore_mask(std::move(mask));
+
+  const util::Json& health = payload.at("health");
+  const std::vector<double> health_ewma =
+      doubles_from_json(health.at("ewma"), "checkpoint health ewma");
+  const std::vector<std::size_t> health_legs = indices_from_json(
+      health.at("legs"), kNoBound, "checkpoint health legs");
+  const std::vector<std::size_t> health_losses = indices_from_json(
+      health.at("losses"), kNoBound, "checkpoint health losses");
+  const std::string& demoted_text = health.at("demoted").as_string();
+  const std::string& gray_text = health.at("gray_mask").as_string();
+  if (health_ewma.size() != server_count ||
+      health_legs.size() != server_count ||
+      health_losses.size() != server_count ||
+      demoted_text.size() != server_count ||
+      gray_text.size() != server_count) {
+    throw util::JsonError("checkpoint: health state size mismatch");
+  }
+  std::vector<core::ServerHealth> health_state(server_count);
+  for (std::size_t i = 0; i < server_count; ++i) {
+    if (!std::isfinite(health_ewma[i]) || health_ewma[i] < 0.0) {
+      throw util::JsonError(util::format(
+          "checkpoint: health ewma out of range for server {}", i));
+    }
+    if ((demoted_text[i] != '0' && demoted_text[i] != '1') ||
+        (gray_text[i] != '0' && gray_text[i] != '1')) {
+      throw util::JsonError("checkpoint: health masks must be 0/1");
+    }
+    health_state[i].ewma_inflation = health_ewma[i];
+    health_state[i].legs = health_legs[i];
+    health_state[i].losses = health_losses[i];
+    health_state[i].demoted = demoted_text[i] == '1';
+  }
+  health_.restore_state(std::move(health_state));
+  gray_mask_.resize(server_count);
+  for (std::size_t i = 0; i < server_count; ++i) {
+    gray_mask_[i] = static_cast<std::uint8_t>(gray_text[i] == '1');
+  }
 
   // Derived availability is regenerated, never stored: the plan is a pure
   // function of (config, seed), so the mask at the restored tick matches.

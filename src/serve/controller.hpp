@@ -43,10 +43,12 @@
 #include <utility>
 #include <vector>
 
+#include "core/health.hpp"
 #include "core/strategy.hpp"
 #include "dynamic/churn.hpp"
 #include "dynamic/mobility.hpp"
 #include "dynamic/world.hpp"
+#include "fault/degradation.hpp"
 #include "fault/fault_plan.hpp"
 #include "model/instance.hpp"
 #include "qos/retry_budget.hpp"
@@ -133,6 +135,12 @@ class ServeController {
   [[nodiscard]] std::size_t sigma_placements() const noexcept {
     return sigma_server_.size();
   }
+  /// Servers currently health-demoted — gray, not down (introspection).
+  [[nodiscard]] std::size_t gray_demoted_count() const noexcept {
+    std::size_t demoted = 0;
+    for (const std::uint8_t flag : gray_mask_) demoted += flag;
+    return demoted;
+  }
 
  private:
   void derive_events(double t);
@@ -163,6 +171,11 @@ class ServeController {
   model::ProblemInstance base_;
   radio::PathLossModel pathloss_;
   fault::FaultPlan plan_;
+  // Gray-failure plane: the degradation schedule is derived state (a pure
+  // function of config and seed, regenerated on restore); the tracker and
+  // the demotion mask are mutable state and are checkpointed.
+  fault::DegradationPlan gray_plan_;
+  core::HealthTracker health_;
   dynamic::WorldTracker tracker_;
   util::Rng walk_rng_;
   util::Rng churn_rng_;
@@ -196,6 +209,7 @@ class ServeController {
 
   std::vector<std::uint8_t> up_mask_;
   std::vector<std::uint8_t> prev_up_mask_;
+  std::vector<std::uint8_t> gray_mask_;  ///< 1 = currently health-demoted
   std::vector<Event> events_;                        // per-tick scratch
   std::vector<std::vector<std::size_t>> candidates_;  // per-repair scratch
 

@@ -17,6 +17,11 @@ enum class EventKind : std::uint8_t {
   kUserJoin,      ///< subject = user id; wants an allocation
   kUserStranded,  ///< subject = user id; walked out of serving coverage
   kSigmaRefresh,  ///< subject = 0; periodic delivery re-heal
+  // Gray-failure events (appended so the values above stay stable in
+  // checkpoints and hashes).
+  kServerGray,       ///< subject = server id; health score crossed the
+                     ///< demotion threshold — slow, not down
+  kServerRecovered,  ///< subject = server id; health score recovered
 };
 
 struct Event {

@@ -203,6 +203,45 @@ TEST(FaultInjector, EpochsAreContiguousAndAgreeWithPlan) {
   EXPECT_EQ(last.graph.edge_count(), inst.graph().edge_count());
 }
 
+// The plan's shared epoch view (epoch_starts / epoch_index_at /
+// availability_changed_between) is the single source of truth the
+// injector and serve::ServeController both slice on — it must agree with
+// the injector's materialised epochs everywhere.
+TEST(FaultInjector, PlanEpochViewMatchesInjectorSlicing) {
+  const auto inst = model::make_instance(small_params(), 6);
+  const auto plan = fault::FaultPlan::generate(inst, lively_profile(), 21);
+  const fault::FaultInjector injector(inst, plan);
+
+  const std::vector<double> starts = plan.epoch_starts();
+  ASSERT_EQ(starts.size(), injector.epoch_count());
+  for (std::size_t e = 0; e < starts.size(); ++e) {
+    EXPECT_DOUBLE_EQ(starts[e], injector.epoch(e).start_s);
+  }
+
+  // Dense time sweep: the plan-side index always equals the injector's.
+  for (double t = 0.0; t < plan.horizon_s() + 5.0; t += 0.25) {
+    EXPECT_EQ(plan.epoch_index_at(t), injector.epoch_index(t)) << "t=" << t;
+  }
+
+  // availability_changed_between brackets exactly the epoch boundaries:
+  // true iff some change time falls in (from, to].
+  std::vector<std::uint8_t> before;
+  std::vector<std::uint8_t> after;
+  const double step = 0.5;
+  for (double t = step; t < plan.horizon_s() + 5.0; t += step) {
+    const bool changed_index =
+        plan.epoch_index_at(t - step) != plan.epoch_index_at(t);
+    EXPECT_EQ(plan.availability_changed_between(t - step, t), changed_index);
+    if (!plan.availability_changed_between(t - step, t)) {
+      // An unchanged interval really has a constant mask.
+      plan.server_up_mask(inst.server_count(), t - step, before);
+      plan.server_up_mask(inst.server_count(), t, after);
+      EXPECT_EQ(before, after);
+    }
+  }
+  EXPECT_FALSE(plan.availability_changed_between(1.0, 0.5));  // to < from
+}
+
 TEST(Failover, AllUpReproducesEq8AndPrimaryTier) {
   const auto s = solved_instance(7);
   const auto& inst = s.instance;

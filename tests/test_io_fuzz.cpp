@@ -17,10 +17,12 @@
 #include "coding/coded_planner.hpp"
 #include "core/idde_g.hpp"
 #include "core/strategy_io.hpp"
+#include "fault/degradation.hpp"
 #include "model/instance_builder.hpp"
 #include "model/instance_io.hpp"
 #include "serve/controller.hpp"
 #include "sim/paper.hpp"
+#include "util/assert.hpp"
 #include "util/json.hpp"
 #include "util/random.hpp"
 
@@ -207,6 +209,49 @@ TEST(IoFuzz, TruncatedCodedStrategyIsRejectedAtEveryLength) {
   for (std::size_t len = 0; len < text.size(); ++len) {
     EXPECT_THROW(
         (void)coding::coded_strategy_from_string(instance, text.substr(0, len)),
+        util::JsonError)
+        << "prefix length " << len;
+  }
+}
+
+fault::DegradationPlan tiny_degradation_plan(
+    const model::ProblemInstance& instance, std::uint64_t seed) {
+  fault::DegradationProfile profile;
+  profile.gray_fraction = 0.8;
+  profile.loss_prob_max = 0.2;
+  auto plan = fault::DegradationPlan::generate(instance, profile, seed);
+  // The fuzz corpus must exercise the segment validation paths, so the
+  // draw may not come up empty.
+  IDDE_EXPECTS(!plan.inert());
+  return plan;
+}
+
+TEST(IoFuzz, MutatedDegradationPlanNeverCrashes) {
+  const auto instance = model::make_instance(tiny_params(), 13);
+  const auto plan = tiny_degradation_plan(instance, 13);
+  const std::string text = fault::degradation_to_string(plan, -1);
+  // Intact round trip first.
+  const auto back = fault::degradation_from_string(instance, text);
+  EXPECT_EQ(back, plan);
+  EXPECT_EQ(fault::degradation_to_string(back, -1), text);
+
+  util::Rng rng(0xf026ULL);
+  for (int i = 0; i < 3000; ++i) {
+    expect_structured(mutate(text, rng), [&](const std::string& s) {
+      (void)fault::degradation_from_string(instance, s);
+    });
+  }
+}
+
+TEST(IoFuzz, TruncatedDegradationPlanIsRejectedAtEveryLength) {
+  const auto instance = model::make_instance(tiny_params(), 14);
+  const auto plan = tiny_degradation_plan(instance, 14);
+  const std::string text = fault::degradation_to_string(plan, -1);
+  // Every strict prefix breaks the JSON grammar or loses a required
+  // field; all must throw the structured error.
+  for (std::size_t len = 0; len < text.size(); ++len) {
+    EXPECT_THROW(
+        (void)fault::degradation_from_string(instance, text.substr(0, len)),
         util::JsonError)
         << "prefix length " << len;
   }

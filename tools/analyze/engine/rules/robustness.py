@@ -17,6 +17,17 @@ that outlives the incident, so the absence of a bound must be loud:
                     lives in a different function than the re-enqueue
                     site (serve::ServeController::enqueue_repair vs
                     drain_backlog is the canonical shape).
+
+  unhedged-wait     a wait-for-completion loop (a `while`/`do` condition
+                    watching pending / in-flight / completed state) in the
+                    DES or serve layer of a file that never references a
+                    hedge deadline, retry budget, or timeout. The gray-
+                    failure PR made unhedged waits a liveness bug: a leg
+                    stuck behind a slow-not-dead server parks the loop
+                    forever unless *something* in the file can preempt it
+                    (HedgeConfig deadline, retry budget, timeout, or an
+                    epoch abort). File-granular like unbounded-retry: the
+                    escape hatch legitimately lives in a sibling function.
 """
 
 from __future__ import annotations
@@ -32,6 +43,10 @@ RULES = {
         "retry/backoff continuation in a file with no visible retry bound "
         "(RetryBudget, deadline, or attempt cap); bound the loop or "
         "justify it in the baseline"),
+    "unhedged-wait": (
+        "DES/serve wait-for-completion loop in a file that never "
+        "references a hedge deadline, retry budget, or timeout; give the "
+        "wait an escape hatch or justify it in the baseline"),
 }
 
 # A retry continuation being created: the counter moves forward...
@@ -57,23 +72,47 @@ COUNTER_CAP = re.compile(
     r"\s*(?:<=?|>=?)\s*[A-Za-z_0-9]")
 
 
+# A loop blocked on delivery progress: `while`/`do` whose condition reads
+# pending / in-flight / completion state. The single-line condition match
+# is deliberate — the codebase's event loops keep the condition on the
+# `while` line, and a multi-line condition still matches its first line.
+WAIT_LOOP = re.compile(
+    r"\b(?:while|do)\b\s*\([^)\n]*?"
+    r"(?P<state>pending|in_flight|inflight|outstanding|unfinished"
+    r"|completed|complete|remaining|in_progress|!\s*\w*done)\b")
+# Anything that can preempt a stuck wait, per the gray-failure PR
+# vocabulary. Matched against stripped code, so a comment claiming an
+# escape hatch does not count.
+HEDGE_MARKER = re.compile(
+    r"\bhedge\w*\b|\bHedgeConfig\b|\bdeadline\w*\b"
+    r"|\bRetryBudget\b|\btry_spend_retry\b|\bretry_budget\b"
+    r"|\btimeout\w*\b|\bmax_retries\b|\bepoch_abort\w*\b",
+    re.IGNORECASE)
+
+
 def scan(sf: SourceFile, cfg: Config):
     findings: list[Finding] = []
-    suppressed = 0
+    facts = {"suppressed": 0}
+    findings += _scan_unbounded_retry(sf, cfg, facts)
+    findings += _scan_unhedged_wait(sf, cfg, facts)
+    return findings, facts
+
+
+def _scan_unbounded_retry(sf: SourceFile, cfg: Config, facts: dict):
+    findings: list[Finding] = []
     if not cfg.in_scope(sf.rel, cfg.retry_scope):
-        return findings, {"suppressed": 0}
+        return findings
     if BOUND_MARKER.search(sf.code) or COUNTER_CAP.search(sf.code):
-        return findings, {"suppressed": 0}
+        return findings
 
     seen: set[tuple[int, str]] = set()
 
     def report(line: int, key: str) -> None:
-        nonlocal suppressed
         if (line, key) in seen:
             return
         seen.add((line, key))
         if sf.allowed(line, "unbounded-retry"):
-            suppressed += 1
+            facts["suppressed"] += 1
         else:
             findings.append(Finding(
                 sf.rel, line, "unbounded-retry", key,
@@ -87,4 +126,31 @@ def scan(sf: SourceFile, cfg: Config):
         report(sf.line_of(match.start()), f"retry:{counter}")
     for match in BACKOFF_ENQUEUE.finditer(sf.code):
         report(sf.line_of(match.start()), "retry:backoff-enqueue")
-    return findings, {"suppressed": suppressed}
+    return findings
+
+
+def _scan_unhedged_wait(sf: SourceFile, cfg: Config, facts: dict):
+    findings: list[Finding] = []
+    if not cfg.in_scope(sf.rel, cfg.hedge_scope):
+        return findings
+    if HEDGE_MARKER.search(sf.code):
+        return findings
+
+    seen: set[tuple[int, str]] = set()
+    for match in WAIT_LOOP.finditer(sf.code):
+        line = sf.line_of(match.start())
+        state = match.group("state")
+        key = f"wait:{state}"
+        if (line, key) in seen:
+            continue
+        seen.add((line, key))
+        if sf.allowed(line, "unhedged-wait"):
+            facts["suppressed"] += 1
+        else:
+            findings.append(Finding(
+                sf.rel, line, "unhedged-wait", key,
+                f"loop waits on `{state}` with no hedge deadline, retry "
+                "budget, or timeout anywhere in this file: a slow-not-dead "
+                "server parks this wait forever — add an escape hatch "
+                "(or justify the exception in the baseline)"))
+    return findings
